@@ -1,0 +1,195 @@
+// Command dragonsim runs a single workload on a simulated Dragonfly system and
+// prints the execution time, the NIC counters and (for the application-aware
+// configuration) the selector statistics. It is the quickest way to poke at
+// the simulator from the command line.
+//
+// Usage:
+//
+//	dragonsim -workload alltoall -size 16384 -nodes 32 -routing appaware
+//	dragonsim -workload halo3d -size 512 -nodes 64 -routing ADAPTIVE_3 -noise
+//	dragonsim -list-workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/counters"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/network"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dragonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dragonsim", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "pingpong", "workload name (-list-workloads to enumerate)")
+		listW        = fs.Bool("list-workloads", false, "list available workloads and exit")
+		size         = fs.Int64("size", 16<<10, "workload size parameter (bytes, elements or domain edge)")
+		nodes        = fs.Int("nodes", 16, "number of ranks (one per node)")
+		groups       = fs.Int("groups", 4, "number of Dragonfly groups")
+		fullAries    = fs.Bool("full-aries", false, "use full-size Aries groups")
+		routingMode  = fs.String("routing", "default", "routing: default, ADAPTIVE_0..3, MIN_HASH, NMIN_HASH, IN_ORDER, or appaware")
+		allocPolicy  = fs.String("alloc", "group-striped", "allocation policy: contiguous, random, group-striped")
+		iterations   = fs.Int("iterations", 3, "workload repetitions")
+		seed         = fs.Int64("seed", 1, "random seed")
+		withNoise    = fs.Bool("noise", false, "add a background interfering job")
+		noiseNodesN  = fs.Int("noise-nodes", 16, "background job size when -noise is set")
+		report       = fs.Int("report", 0, "print a link-utilization report listing the N hottest links")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listW {
+		for _, name := range workloads.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	// Topology and fabric.
+	var tcfg topo.Config
+	if *fullAries {
+		tcfg = topo.AriesConfig(*groups)
+	} else {
+		tcfg = topo.SmallConfig(*groups)
+		tcfg.BladesPerChassis = 8
+		tcfg.GlobalLinksPerRouter = 4
+	}
+	t, err := topo.New(tcfg)
+	if err != nil {
+		return err
+	}
+	pol, err := routing.NewPolicy(t, routing.DefaultParams())
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine(*seed)
+	fab, err := network.New(engine, t, pol, network.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// Allocation.
+	policy, err := alloc.ParsePolicy(*allocPolicy)
+	if err != nil {
+		return err
+	}
+	rng := engine.Rand()
+	job, err := alloc.Allocate(t, policy, *nodes, rng, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %d nodes, %d routers, %d groups; job: %s\n",
+		t.NumNodes(), t.NumRouters(), t.Config().Groups, job)
+
+	// Optional background noise.
+	if *withNoise {
+		ncfg := noise.DefaultGeneratorConfig()
+		ncfg.Seed = *seed + 1
+		na, err := alloc.Allocate(t, alloc.RandomScatter, *noiseNodesN, rng, alloc.ExcludeSet(job))
+		if err != nil {
+			return fmt.Errorf("allocating noise job: %w", err)
+		}
+		g, err := noise.FromAllocation(fab, na, ncfg)
+		if err != nil {
+			return err
+		}
+		g.Start(1 << 50)
+		fmt.Printf("background job: %d nodes, %s pattern\n", na.Size(), ncfg.Pattern)
+	}
+
+	// Routing provider.
+	var selectors []*core.Selector
+	var provider func(int) mpi.RoutingProvider
+	switch *routingMode {
+	case "default":
+		provider = func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }
+	case "appaware":
+		provider = func(int) mpi.RoutingProvider {
+			s := core.MustNew(core.DefaultConfig())
+			selectors = append(selectors, s)
+			return mpi.AppAwareRouting{Selector: s}
+		}
+	default:
+		mode, err := routing.ParseMode(*routingMode)
+		if err != nil {
+			return err
+		}
+		provider = func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} }
+	}
+
+	// Workload.
+	w, err := workloads.New(*workloadName, job.Size(), *size)
+	if err != nil {
+		return err
+	}
+	comm, err := mpi.NewComm(fab, job, mpi.Config{Routing: provider})
+	if err != nil {
+		return err
+	}
+
+	results := trace.NewTable(fmt.Sprintf("%s size=%d routing=%s", w.Name(), *size, *routingMode),
+		"iteration", "time (cycles)", "job packets", "job flits", "stall ratio", "avg latency", "non-minimal %")
+	for i := 0; i < *iterations; i++ {
+		before := jobCounters(fab, job)
+		start := engine.Now()
+		if err := comm.Run(w.Run); err != nil {
+			return err
+		}
+		for r := 0; r < comm.Size(); r++ {
+			if err := comm.Rank(r).Err(); err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+		}
+		delta := jobCounters(fab, job).Sub(before)
+		results.AddRow(i, engine.Now()-start, delta.RequestPackets, delta.RequestFlits,
+			delta.StallRatio(), delta.AvgPacketLatency(), delta.NonMinimalFraction()*100)
+	}
+	if err := results.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if len(selectors) > 0 {
+		var agg core.Stats
+		for _, s := range selectors {
+			st := s.Stats()
+			agg.Messages += st.Messages
+			agg.Bytes += st.Bytes
+			agg.DefaultBytes += st.DefaultBytes
+			agg.BiasBytes += st.BiasBytes
+			agg.Evaluations += st.Evaluations
+			agg.Switches += st.Switches
+		}
+		fmt.Printf("application-aware selector: %d messages, %.1f%% of bytes sent with Default routing, %d evaluations, %d mode switches\n",
+			agg.Messages, agg.DefaultTrafficFraction()*100, agg.Evaluations, agg.Switches)
+	}
+	if *report > 0 {
+		fmt.Print(fab.Report(*report))
+	}
+	return nil
+}
+
+// jobCounters sums the NIC counters over the job's nodes.
+func jobCounters(fab *network.Fabric, job *alloc.Allocation) counters.NIC {
+	var total counters.NIC
+	for _, n := range job.Nodes() {
+		total.Add(fab.NodeCounters(n))
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestListWorkloads(t *testing.T) {
+	if err := run([]string{"-list-workloads"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPingPongDefault(t *testing.T) {
+	args := []string{"-workload", "pingpong", "-size", "1024", "-nodes", "4",
+		"-groups", "2", "-iterations", "2"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAlltoallAppAwareWithNoiseAndReport(t *testing.T) {
+	args := []string{"-workload", "alltoall", "-size", "512", "-nodes", "8",
+		"-groups", "3", "-routing", "appaware", "-iterations", "2",
+		"-noise", "-noise-nodes", "6", "-report", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStaticRoutingMode(t *testing.T) {
+	args := []string{"-workload", "broadcast", "-size", "4096", "-nodes", "6",
+		"-groups", "2", "-routing", "ADAPTIVE_3", "-iterations", "1", "-alloc", "contiguous"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-workload", "not-a-workload"},
+		{"-routing", "NOT_A_MODE"},
+		{"-alloc", "not-a-policy"},
+		{"-nodes", "100000", "-groups", "2"},
+		{"-groups", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("expected error for args %v", args)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "fig8", "tab1", "hysteresis"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestMissingExperimentFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("expected error when -exp is missing")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "not-an-experiment", "-quick"}, &out); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunQuickExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-exp", "tab1", "-quick", "-iterations", "2", "-csv", dir}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Fatalf("output missing the Table 1 header:\n%s", out.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "incoming flits") {
+		t.Fatalf("CSV content unexpected: %s", data)
+	}
+}
+
+func TestRunQuickExperimentScalingFlags(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-exp", "fig4", "-quick", "-iterations", "2", "-seed", "5",
+		"-nodes", "12", "-noise-nodes", "4", "-noise-interval", "30000", "-size-scale", "0.5"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 4") {
+		t.Fatalf("output missing the Figure 4 header:\n%s", out.String())
+	}
+}

@@ -1,0 +1,175 @@
+// Command msgtrace records and replays fabric-wide communication traces.
+//
+// In record mode it runs a workload on the simulated Dragonfly, captures every
+// message transfer through the fabric's delivery observer and writes the trace
+// as JSON Lines. In replay mode it loads such a trace and re-injects it onto a
+// fresh system — possibly under a different routing mode or with a different
+// time scale — and reports the delivered traffic and the NIC-level latency and
+// stall statistics. Trace capture plus replay is the usual way to re-examine a
+// communication pattern under routing changes without re-running the
+// application.
+//
+// Usage:
+//
+//	msgtrace -mode record -workload alltoall -size 16384 -nodes 16 -trace trace.jsonl
+//	msgtrace -mode replay -trace trace.jsonl -routing ADAPTIVE_3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/counters"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/msglog"
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msgtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("msgtrace", flag.ContinueOnError)
+	var (
+		mode         = fs.String("mode", "record", "record or replay")
+		tracePath    = fs.String("trace", "trace.jsonl", "trace file (written in record mode, read in replay mode)")
+		workloadName = fs.String("workload", "alltoall", "workload to record")
+		size         = fs.Int64("size", 16<<10, "workload size parameter")
+		nodes        = fs.Int("nodes", 16, "job size (ranks) in record mode")
+		groups       = fs.Int("groups", 4, "number of Dragonfly groups")
+		routingMode  = fs.String("routing", "ADAPTIVE_0", "routing mode (record: for the workload; replay: for the replayed traffic)")
+		timeScale    = fs.Float64("time-scale", 1.0, "replay pacing: >1 stretches the original gaps, <1 compresses them")
+		seed         = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode2, err := routing.ParseMode(*routingMode)
+	if err != nil {
+		return err
+	}
+
+	t, err := topo.New(smallGeometry(*groups))
+	if err != nil {
+		return err
+	}
+	pol, err := routing.NewPolicy(t, routing.DefaultParams())
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine(*seed)
+	fab, err := network.New(engine, t, pol, network.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "record":
+		return record(out, fab, *workloadName, *size, *nodes, mode2, *tracePath)
+	case "replay":
+		return replay(out, fab, *tracePath, mode2, *timeScale)
+	default:
+		return fmt.Errorf("unknown mode %q (want record or replay)", *mode)
+	}
+}
+
+// smallGeometry returns the reduced geometry used by the CLI tools.
+func smallGeometry(groups int) topo.Config {
+	cfg := topo.SmallConfig(groups)
+	cfg.BladesPerChassis = 8
+	cfg.GlobalLinksPerRouter = 4
+	return cfg
+}
+
+// record runs the workload with a log attached and saves the trace.
+func record(out io.Writer, fab *network.Fabric, workloadName string, size int64,
+	nodes int, mode routing.Mode, tracePath string) error {
+
+	t := fab.Topology()
+	job, err := alloc.Allocate(t, alloc.GroupStriped, nodes, fab.Engine().Rand(), nil)
+	if err != nil {
+		return err
+	}
+	w, err := workloads.New(workloadName, job.Size(), size)
+	if err != nil {
+		return err
+	}
+	comm, err := mpi.NewComm(fab, job, mpi.Config{
+		Routing: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} },
+	})
+	if err != nil {
+		return err
+	}
+	log := msglog.NewLog()
+	log.Attach(fab)
+	start := fab.Engine().Now()
+	if err := comm.Run(w.Run); err != nil {
+		return err
+	}
+	for r := 0; r < comm.Size(); r++ {
+		if err := comm.Rank(r).Err(); err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	elapsed := fab.Engine().Now() - start
+	if err := log.SaveJSONL(tracePath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %s: %d messages, %d bytes, %d cycles under %s\n",
+		w.Name(), log.Len(), log.TotalBytes(), elapsed, mode)
+	fmt.Fprintf(out, "trace written to %s\n", tracePath)
+	bounds, counts := log.SizeHistogram(64)
+	fmt.Fprintln(out, "message-size histogram:")
+	for i, b := range bounds {
+		if counts[i] > 0 {
+			fmt.Fprintf(out, "  <= %8d B: %d\n", b, counts[i])
+		}
+	}
+	return nil
+}
+
+// replay loads the trace and re-injects it under the given routing mode.
+func replay(out io.Writer, fab *network.Fabric, tracePath string, mode routing.Mode, timeScale float64) error {
+	records, err := msglog.LoadJSONL(tracePath)
+	if err != nil {
+		return err
+	}
+	replayLog := msglog.NewLog()
+	replayLog.Attach(fab)
+	scheduled, err := msglog.Replay(fab, records, msglog.ReplayOptions{Mode: mode, TimeScale: timeScale})
+	if err != nil {
+		return err
+	}
+	start := fab.Engine().Now()
+	if err := fab.Engine().Run(); err != nil {
+		return err
+	}
+	elapsed := fab.Engine().Now() - start
+
+	var total counters.NIC
+	for n := 0; n < fab.Topology().NumNodes(); n++ {
+		total.Add(fab.NodeCounters(topo.NodeID(n)))
+	}
+	lats := replayLog.Latencies()
+	fmt.Fprintf(out, "replayed %d of %d messages under %s (time scale %.2f): %d cycles\n",
+		replayLog.Len(), scheduled, mode, timeScale, elapsed)
+	fmt.Fprintf(out, "delivered bytes: %d, stall ratio s=%.3f, avg packet latency L=%.1f cycles, non-minimal packets %.1f%%\n",
+		replayLog.TotalBytes(), total.StallRatio(), total.AvgPacketLatency(), total.NonMinimalFraction()*100)
+	if len(lats) > 0 {
+		fmt.Fprintf(out, "per-message latency: median %.1f, p95 %.1f cycles\n",
+			stats.Median(lats), stats.Percentile(lats, 95))
+	}
+	return nil
+}

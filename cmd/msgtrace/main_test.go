@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordThenReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-mode", "record", "-workload", "alltoall", "-size", "2048",
+		"-nodes", "8", "-groups", "3", "-trace", trace,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded alltoall") || !strings.Contains(out.String(), "trace written") {
+		t.Fatalf("record output unexpected:\n%s", out.String())
+	}
+
+	out.Reset()
+	err = run([]string{
+		"-mode", "replay", "-trace", trace, "-groups", "3",
+		"-routing", "ADAPTIVE_3", "-time-scale", "0.5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replayed 56 of 56 messages") {
+		t.Fatalf("replay output unexpected (8-rank pairwise alltoall has 56 messages):\n%s", out.String())
+	}
+}
+
+func TestReplayMissingTraceFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "replay", "-trace", filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Fatal("expected error for missing trace file")
+	}
+}
+
+func TestUnknownModeFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}
+
+func TestUnknownRoutingFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-routing", "bogus"}, &out); err == nil {
+		t.Fatal("expected error for unknown routing mode")
+	}
+}

@@ -1,0 +1,198 @@
+// Command noisescan runs a workload under configurable cross-traffic while a
+// fabric-wide telemetry collector samples every router tile and NIC, and then
+// prints the congestion time series, the hottest links and the group-to-group
+// traffic heatmap. It is the system-operator companion to dragonsim: dragonsim
+// shows what the application sees (NIC counters), noisescan shows what the
+// machine sees (tile counters), the distinction §3.2 of the paper insists on.
+//
+// Usage:
+//
+//	noisescan -workload alltoall -size 16384 -nodes 32 -routing ADAPTIVE_0 -noise bully
+//	noisescan -workload halo3d -size 512 -nodes 64 -routing ADAPTIVE_3 -interval 25000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/network"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/telemetry"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "noisescan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("noisescan", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "alltoall", "measured workload name")
+		size         = fs.Int64("size", 16<<10, "workload size parameter")
+		nodes        = fs.Int("nodes", 32, "measured job size (ranks)")
+		groups       = fs.Int("groups", 4, "number of Dragonfly groups")
+		fullAries    = fs.Bool("full-aries", false, "use full-size Aries groups")
+		routingMode  = fs.String("routing", "ADAPTIVE_0", "routing mode for the measured job (or appaware)")
+		noiseKind    = fs.String("noise", "uniform", "background pattern: uniform, hotspot, bully, burst, none")
+		noiseNodesN  = fs.Int("noise-nodes", 16, "background job size")
+		iterations   = fs.Int("iterations", 3, "measured workload repetitions")
+		interval     = fs.Int64("interval", 50_000, "telemetry sampling interval (cycles)")
+		topLinks     = fs.Int("top-links", 5, "hottest links listed per report")
+		hotThreshold = fs.Float64("hot-threshold", 0.8, "utilization above which an interval counts as a hotspot")
+		seed         = fs.Int64("seed", 1, "random seed")
+		csvPath      = fs.String("csv", "", "write the per-interval telemetry table to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tcfg topo.Config
+	if *fullAries {
+		tcfg = topo.AriesConfig(*groups)
+	} else {
+		tcfg = topo.SmallConfig(*groups)
+		tcfg.BladesPerChassis = 8
+		tcfg.GlobalLinksPerRouter = 4
+	}
+	t, err := topo.New(tcfg)
+	if err != nil {
+		return err
+	}
+	pol, err := routing.NewPolicy(t, routing.DefaultParams())
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine(*seed)
+	fab, err := network.New(engine, t, pol, network.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	job, err := alloc.Allocate(t, alloc.GroupStriped, *nodes, engine.Rand(), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "system: %d nodes / %d routers / %d groups; measured job: %s\n",
+		t.NumNodes(), t.NumRouters(), t.Config().Groups, job)
+
+	if *noiseKind != "none" {
+		pattern, err := noise.ParsePattern(*noiseKind)
+		if err != nil {
+			return err
+		}
+		ncfg := noise.DefaultGeneratorConfig()
+		ncfg.Pattern = pattern
+		ncfg.Seed = *seed + 1
+		na, err := alloc.Allocate(t, alloc.RandomScatter, *noiseNodesN, engine.Rand(), alloc.ExcludeSet(job))
+		if err != nil {
+			return fmt.Errorf("allocating background job: %w", err)
+		}
+		g, err := noise.FromAllocation(fab, na, ncfg)
+		if err != nil {
+			return err
+		}
+		g.Start(1 << 50)
+		fmt.Fprintf(out, "background job: %d nodes, %s pattern\n", na.Size(), pattern)
+	}
+
+	var provider func(int) mpi.RoutingProvider
+	if *routingMode == "appaware" {
+		provider = func(int) mpi.RoutingProvider {
+			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
+		}
+	} else if *routingMode == "default" {
+		provider = func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }
+	} else {
+		mode, err := routing.ParseMode(*routingMode)
+		if err != nil {
+			return err
+		}
+		provider = func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} }
+	}
+
+	w, err := workloads.New(*workloadName, job.Size(), *size)
+	if err != nil {
+		return err
+	}
+	comm, err := mpi.NewComm(fab, job, mpi.Config{Routing: provider})
+	if err != nil {
+		return err
+	}
+
+	col, err := telemetry.NewCollector(fab, telemetry.Config{
+		IntervalCycles:   *interval,
+		TopLinks:         *topLinks,
+		TrackGroupMatrix: true,
+	})
+	if err != nil {
+		return err
+	}
+	col.Start(1 << 50)
+
+	for i := 0; i < *iterations; i++ {
+		start := engine.Now()
+		if err := comm.Run(w.Run); err != nil {
+			return err
+		}
+		for r := 0; r < comm.Size(); r++ {
+			if err := comm.Rank(r).Err(); err != nil {
+				return fmt.Errorf("rank %d: %w", r, err)
+			}
+		}
+		fmt.Fprintf(out, "iteration %d: %d cycles\n", i, engine.Now()-start)
+	}
+	col.Stop()
+	col.Flush()
+
+	table := col.Table(fmt.Sprintf("telemetry: %s size=%d routing=%s", w.Name(), *size, *routingMode))
+	if err := table.Render(out); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		if err := table.SaveCSV(*csvPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "per-interval telemetry written to %s\n", *csvPath)
+	}
+
+	maxUtil, _ := col.Series("max-util")
+	stall, _ := col.Series("stall-ratio")
+	fmt.Fprintf(out, "\nsamples: %d, mean max-utilization: %.3f, peak: %.3f, hotspot intervals (>=%.0f%%): %d, mean stall ratio: %.3f\n",
+		len(col.Samples()), stats.Mean(maxUtil), stats.Max(maxUtil),
+		*hotThreshold*100, len(col.HotspotIntervals(*hotThreshold)), stats.Mean(stall))
+
+	if last := lastSampleWithHotLinks(col); last != nil {
+		fmt.Fprintf(out, "\nhottest links of the last active interval [%d, %d):\n", last.Start, last.End)
+		for _, h := range last.Hottest {
+			fmt.Fprintf(out, "  link %d (%s %d->%d): util=%.3f flits=%d\n",
+				h.Link.ID, h.Link.Type, h.Link.Src, h.Link.Dst, h.Utilization, h.Flits)
+		}
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, telemetry.RenderGroupHeatmap(col.AggregateGroupMatrix()))
+	return nil
+}
+
+// lastSampleWithHotLinks returns the most recent sample that recorded hot
+// links, or nil.
+func lastSampleWithHotLinks(col *telemetry.Collector) *telemetry.Sample {
+	samples := col.Samples()
+	for i := len(samples) - 1; i >= 0; i-- {
+		if len(samples[i].Hottest) > 0 {
+			return &samples[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNoisescanSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "alltoall", "-size", "2048", "-nodes", "8", "-groups", "3",
+		"-noise", "bully", "-noise-nodes", "6", "-iterations", "1", "-interval", "20000",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"measured job", "background job", "samples:", "group-to-group"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNoisescanNoNoiseAppAware(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "pingpong", "-size", "4096", "-nodes", "4", "-groups", "2",
+		"-noise", "none", "-routing", "appaware", "-iterations", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "iteration 0") {
+		t.Fatalf("output missing iteration line:\n%s", out.String())
+	}
+}
+
+func TestNoisescanRejectsUnknownWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &out); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestNoisescanRejectsUnknownRouting(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-routing", "nope", "-nodes", "4", "-groups", "2"}, &out); err == nil {
+		t.Fatal("expected error for unknown routing mode")
+	}
+}
+
+func TestNoisescanCSVExport(t *testing.T) {
+	var out bytes.Buffer
+	path := t.TempDir() + "/telemetry.csv"
+	err := run([]string{
+		"-workload", "barrier", "-nodes", "4", "-groups", "2", "-noise", "none",
+		"-iterations", "1", "-csv", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "written to") {
+		t.Fatalf("CSV confirmation missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSmallTopology(t *testing.T) {
+	if err := run([]string{"-groups", "3", "-full-aries=false", "-samples", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFullAriesTopology(t *testing.T) {
+	if err := run([]string{"-groups", "2", "-samples", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunInvalidGeometry(t *testing.T) {
+	if err := run([]string{"-groups", "0"}); err == nil {
+		t.Fatal("expected error for zero groups")
+	}
+}

@@ -1,0 +1,94 @@
+// Halo3d example: a 3D stencil job (the ember halo3d pattern the paper uses)
+// sharing the machine with an interfering all-to-all "bully" job. The example
+// compares the Default routing, Adaptive with High Bias, and the
+// application-aware routing library, reproducing in miniature the halo3d
+// columns of the paper's Figure 8.
+//
+// Run with:
+//
+//	go run ./examples/halo3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/network"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/workloads"
+)
+
+func main() {
+	const (
+		jobNodes   = 27 // 3x3x3 process grid
+		noiseNodes = 24
+		domainEdge = 384
+		iterations = 8
+	)
+
+	// One simulated system shared by the measured job and the bully job.
+	t := topo.MustNew(topo.Config{
+		Groups: 6, ChassisPerGroup: 2, BladesPerChassis: 8, NodesPerBlade: 2,
+		GlobalLinksPerRouter: 4, IntraGroupLinkWidth: 3, IntraChassisLinkWidth: 1, GlobalLinkWidth: 2,
+	})
+	policy := routing.MustNewPolicy(t, routing.DefaultParams())
+	engine := sim.NewEngine(7)
+	fabric := network.MustNew(engine, t, policy, network.DefaultConfig())
+
+	// The measured job is striped over the groups (a scattered allocation, as
+	// on a busy production machine).
+	job := alloc.MustAllocate(t, alloc.GroupStriped, jobNodes, nil, nil)
+	fmt.Printf("halo3d job: %s\n", job)
+
+	// The interfering job: an all-to-all bully on other nodes.
+	bullyAlloc := alloc.MustAllocate(t, alloc.RandomScatter, noiseNodes, engine.Rand(), alloc.ExcludeSet(job))
+	bullyCfg := noise.DefaultGeneratorConfig()
+	bullyCfg.Pattern = noise.AlltoallBully
+	bullyCfg.MessageBytes = 32 << 10
+	bullyCfg.IntervalCycles = 8_000
+	bully := noise.MustNewGenerator(fabric, bullyAlloc.Nodes(), bullyCfg)
+	bully.Start(1 << 50)
+	fmt.Printf("bully job:  %s (%s pattern)\n\n", bullyAlloc, bullyCfg.Pattern)
+
+	configs := []struct {
+		name    string
+		routing func(int) mpi.RoutingProvider
+	}{
+		{"Default (ADAPTIVE_0)", func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }},
+		{"Adaptive High Bias", func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.AdaptiveHighBias} }},
+		{"Application-Aware", func(int) mpi.RoutingProvider {
+			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
+		}},
+	}
+
+	baseline := 0.0
+	for _, cfg := range configs {
+		comm, err := mpi.NewComm(fabric, job, mpi.Config{Routing: cfg.routing})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := workloads.NewHalo3D(jobNodes, domainEdge, 1)
+		times := make([]float64, 0, iterations)
+		for i := 0; i < iterations; i++ {
+			start := engine.Now()
+			if err := comm.Run(w.Run); err != nil {
+				log.Fatal(err)
+			}
+			times = append(times, float64(engine.Now()-start))
+		}
+		med := stats.Median(times)
+		if baseline == 0 {
+			baseline = med
+		}
+		fmt.Printf("%-22s median=%10.0f cycles  qcd=%.3f  normalized=%.2f\n",
+			cfg.name, med, stats.QCD(times), med/baseline)
+	}
+	fmt.Println("\n(normalized < 1 means faster than the Default routing, as in Figure 8)")
+}

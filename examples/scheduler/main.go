@@ -1,0 +1,81 @@
+// Scheduler example: run the same synthetic batch workload through the batch
+// scheduler under three placement policies (contiguous, random, hybrid) and
+// compare queue waiting times, placement fragmentation and machine
+// utilization. It illustrates the allocation-based interference mitigation the
+// paper's related work discusses, which the application-aware routing library
+// complements at the routing level.
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sched"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+)
+
+func main() {
+	// The same job mix is replayed under every placement policy.
+	mix := sched.DefaultMixConfig()
+	mix.Jobs = 20
+	mix.MaxNodes = 24
+	mix.Seed = 42
+
+	policies := []sched.AllocationPolicy{sched.PlaceContiguous, sched.PlaceRandom, sched.PlaceHybrid}
+	fmt.Printf("%-14s %10s %14s %14s %12s %12s\n",
+		"placement", "finished", "mean wait", "max wait", "groups/job", "utilization")
+	for _, policy := range policies {
+		stats, packets := runMix(policy, mix)
+		fmt.Printf("%-14s %10d %14.0f %14d %12.2f %11.1f%%   (%d batch packets)\n",
+			policy, stats.Finished, stats.MeanWaitCycles, stats.MaxWaitCycles,
+			stats.MeanGroupsSpanned, stats.Utilization*100, packets)
+	}
+	fmt.Println()
+	fmt.Println("Contiguous placement keeps each job inside few groups (low fragmentation) at the")
+	fmt.Println("cost of longer queue waits; random placement does the opposite; hybrid scatters")
+	fmt.Println("only the communication-intensive jobs. None of them isolates jobs on a Dragonfly:")
+	fmt.Println("adaptive non-minimal routing still sends packets through groups owned by others,")
+	fmt.Println("which is why the paper mitigates noise at the routing level instead.")
+}
+
+// runMix builds a fresh machine, schedules the mix under the given policy and
+// returns the scheduler statistics and the number of packets the batch jobs
+// injected.
+func runMix(policy sched.AllocationPolicy, mix sched.MixConfig) (sched.Stats, uint64) {
+	t, err := topo.New(topo.SmallConfig(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := routing.NewPolicy(t, routing.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := sim.NewEngine(7)
+	fabric, err := network.New(engine, t, pol, network.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	specs, err := sched.GenerateMix(mix, t.NumNodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sched.New(fabric, sched.Config{Placement: policy, Backfill: true, Seed: 7})
+	for _, spec := range specs {
+		if _, err := s.Submit(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s.Start()
+	if err := engine.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return s.Stats(), fabric.PacketsInjected()
+}

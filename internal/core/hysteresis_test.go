@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"dragonfly/internal/routing"
+)
+
+// oscillate feeds the selector observations that flip which mode looks better
+// on every evaluation, which is the §5.1 failure mode (broadcast of large
+// messages, sweep3d): as soon as the selector moves to the Default routing the
+// stalls it observes drop, making High Bias look attractive again, and so on.
+func oscillate(s *Selector, rounds int, msgSize int64) uint64 {
+	for i := 0; i < rounds; i++ {
+		if i%2 == 0 {
+			// Adaptive looks clearly better.
+			s.Observe(routing.Adaptive, obsCounters(4000, 0.05))
+			s.Observe(routing.AdaptiveHighBias, obsCounters(9000, 3.0))
+		} else {
+			// High Bias looks clearly better.
+			s.Observe(routing.Adaptive, obsCounters(12000, 2.5))
+			s.Observe(routing.AdaptiveHighBias, obsCounters(3000, 0.05))
+		}
+		s.Select(msgSize, PointToPoint)
+	}
+	return s.Stats().Switches
+}
+
+func TestHysteresisDefaultMatchesPaperBehaviour(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThresholdBytes = 0
+	if cfg.SwitchConfirmations != 1 {
+		t.Fatalf("default SwitchConfirmations = %d, want 1 (paper behaviour)", cfg.SwitchConfirmations)
+	}
+	s := MustNew(cfg)
+	switches := oscillate(s, 20, 1<<20)
+	// With no damping the selector flips nearly every round.
+	if switches < 15 {
+		t.Fatalf("expected near-constant oscillation without hysteresis, got %d switches", switches)
+	}
+}
+
+func TestHysteresisReducesOscillation(t *testing.T) {
+	base := DefaultConfig()
+	base.ThresholdBytes = 0
+	damped := base
+	damped.SwitchConfirmations = 4
+
+	noHyst := oscillate(MustNew(base), 40, 1<<20)
+	withHyst := oscillate(MustNew(damped), 40, 1<<20)
+	if withHyst >= noHyst {
+		t.Fatalf("hysteresis did not reduce switches: %d vs %d", withHyst, noHyst)
+	}
+	if withHyst > noHyst/2 {
+		t.Fatalf("hysteresis reduction too weak: %d vs %d", withHyst, noHyst)
+	}
+}
+
+func TestHysteresisStillSwitchesOnPersistentChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThresholdBytes = 0
+	cfg.SwitchConfirmations = 3
+	s := MustNew(cfg)
+	// Start with Adaptive clearly better so the selector stays put.
+	s.Observe(routing.Adaptive, obsCounters(3000, 0.05))
+	s.Observe(routing.AdaptiveHighBias, obsCounters(9000, 2.0))
+	for i := 0; i < 3; i++ {
+		if d := s.Select(1<<20, PointToPoint); d.Mode != routing.Adaptive {
+			t.Fatalf("setup: expected Adaptive, got %v", d.Mode)
+		}
+	}
+	// Now the network state flips permanently: High Bias is clearly better.
+	s.Observe(routing.Adaptive, obsCounters(12000, 2.5))
+	s.Observe(routing.AdaptiveHighBias, obsCounters(2500, 0.05))
+	var modes []routing.Mode
+	for i := 0; i < 5; i++ {
+		modes = append(modes, s.Select(1<<20, PointToPoint).Mode)
+	}
+	// The first SwitchConfirmations-1 evaluations hold the old mode, then the
+	// selector commits to the new one and stays there.
+	if modes[0] != routing.Adaptive || modes[1] != routing.Adaptive {
+		t.Fatalf("selector switched before confirmation: %v", modes)
+	}
+	if modes[2] != routing.AdaptiveHighBias || modes[4] != routing.AdaptiveHighBias {
+		t.Fatalf("selector failed to commit to the persistent winner: %v", modes)
+	}
+}
+
+func TestHysteresisPendingResetOnAgreement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThresholdBytes = 0
+	cfg.SwitchConfirmations = 3
+	s := MustNew(cfg)
+	s.Observe(routing.Adaptive, obsCounters(3000, 0.05))
+	s.Observe(routing.AdaptiveHighBias, obsCounters(9000, 2.0))
+	s.Select(1<<20, PointToPoint) // Adaptive preferred, stays Adaptive
+
+	// Two evaluations prefer High Bias (not enough to switch)...
+	s.Observe(routing.Adaptive, obsCounters(12000, 2.5))
+	s.Observe(routing.AdaptiveHighBias, obsCounters(2500, 0.05))
+	s.Select(1<<20, PointToPoint)
+	s.Select(1<<20, PointToPoint)
+	// ...then one evaluation prefers Adaptive again, which must reset the
+	// pending counter...
+	s.Observe(routing.Adaptive, obsCounters(3000, 0.05))
+	s.Observe(routing.AdaptiveHighBias, obsCounters(9000, 2.0))
+	s.Select(1<<20, PointToPoint)
+	// ...so two more High-Bias-preferring evaluations still do not switch.
+	s.Observe(routing.Adaptive, obsCounters(12000, 2.5))
+	s.Observe(routing.AdaptiveHighBias, obsCounters(2500, 0.05))
+	s.Select(1<<20, PointToPoint)
+	d := s.Select(1<<20, PointToPoint)
+	if d.Mode != routing.Adaptive {
+		t.Fatalf("pending switch counter was not reset by an agreeing evaluation: %v", d.Mode)
+	}
+	if s.Stats().Switches != 0 {
+		t.Fatalf("unexpected switches: %d", s.Stats().Switches)
+	}
+}
+
+func TestNegativeSwitchConfirmationsRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SwitchConfirmations = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative SwitchConfirmations must be rejected")
+	}
+}

@@ -1,0 +1,136 @@
+// Package counters models the Aries NIC performance counters used by the
+// paper (§2.3): request flits, request flit stall cycles, request packets and
+// cumulative request-response latency. Only NIC-side counters are modelled
+// because, as the paper argues, they are the only ones that isolate the
+// network's direct effect on the application (router-tile counters mix in
+// traffic from other jobs and suffer the correlation-is-not-causation problem).
+package counters
+
+import "fmt"
+
+// NIC is the set of per-NIC counters exposed to the application. The zero
+// value is a valid, all-zero counter set.
+//
+// Latencies are recorded in NIC cycles; the real Aries counter reports
+// microseconds, but the paper itself converts to cycles (footnote 3), so we
+// keep cycles throughout.
+type NIC struct {
+	// RequestFlits is the number of request flits sent.
+	RequestFlits uint64
+	// RequestFlitsStalledCycles counts clock cycles in which a ready-to-forward
+	// flit was not forwarded because of back-pressure.
+	RequestFlitsStalledCycles uint64
+	// RequestPackets is the number of request packets sent.
+	RequestPackets uint64
+	// RequestPacketsCumLatency is the cumulative request->response latency, in
+	// cycles, across all request-response packet pairs. It does not include
+	// the time a flit waits in NIC queues before being transmitted.
+	RequestPacketsCumLatency uint64
+	// MinimalPackets and NonMinimalPackets break down RequestPackets by the
+	// kind of path the adaptive routing selected. They are not available on
+	// real Aries NICs and exist only for analysis and tests.
+	MinimalPackets    uint64
+	NonMinimalPackets uint64
+}
+
+// Add accumulates other into c.
+func (c *NIC) Add(other NIC) {
+	c.RequestFlits += other.RequestFlits
+	c.RequestFlitsStalledCycles += other.RequestFlitsStalledCycles
+	c.RequestPackets += other.RequestPackets
+	c.RequestPacketsCumLatency += other.RequestPacketsCumLatency
+	c.MinimalPackets += other.MinimalPackets
+	c.NonMinimalPackets += other.NonMinimalPackets
+}
+
+// Sub returns the counter deltas c - prev. It is the usual way to extract the
+// counters associated with a single message or phase: snapshot before,
+// snapshot after, subtract.
+func (c NIC) Sub(prev NIC) NIC {
+	return NIC{
+		RequestFlits:              c.RequestFlits - prev.RequestFlits,
+		RequestFlitsStalledCycles: c.RequestFlitsStalledCycles - prev.RequestFlitsStalledCycles,
+		RequestPackets:            c.RequestPackets - prev.RequestPackets,
+		RequestPacketsCumLatency:  c.RequestPacketsCumLatency - prev.RequestPacketsCumLatency,
+		MinimalPackets:            c.MinimalPackets - prev.MinimalPackets,
+		NonMinimalPackets:         c.NonMinimalPackets - prev.NonMinimalPackets,
+	}
+}
+
+// StallRatio returns s, the average number of cycles a flit waits (due to
+// stalls) before being transmitted: stalled cycles / request flits.
+// It returns 0 when no flits were sent.
+func (c NIC) StallRatio() float64 {
+	if c.RequestFlits == 0 {
+		return 0
+	}
+	return float64(c.RequestFlitsStalledCycles) / float64(c.RequestFlits)
+}
+
+// AvgPacketLatency returns L, the average request-response latency per packet
+// in cycles. It returns 0 when no packets were sent.
+func (c NIC) AvgPacketLatency() float64 {
+	if c.RequestPackets == 0 {
+		return 0
+	}
+	return float64(c.RequestPacketsCumLatency) / float64(c.RequestPackets)
+}
+
+// NonMinimalFraction returns the fraction of request packets that were routed
+// on non-minimal paths, in [0, 1]. It returns 0 when no packets were sent.
+func (c NIC) NonMinimalFraction() float64 {
+	if c.RequestPackets == 0 {
+		return 0
+	}
+	return float64(c.NonMinimalPackets) / float64(c.RequestPackets)
+}
+
+// String formats the counters compactly for logs and CLI output.
+func (c NIC) String() string {
+	return fmt.Sprintf("flits=%d stalls=%d packets=%d cumLat=%d (s=%.3f L=%.1f)",
+		c.RequestFlits, c.RequestFlitsStalledCycles, c.RequestPackets,
+		c.RequestPacketsCumLatency, c.StallRatio(), c.AvgPacketLatency())
+}
+
+// Tile models the counters of a router tile (network-side). The paper
+// explicitly avoids relying on them for noise estimation, but they are useful
+// to reproduce Table 1 (an idle application observing flits and stalls caused
+// by other jobs) and for congestion visualization.
+type Tile struct {
+	// FlitsTraversed is the number of flits forwarded by the tile.
+	FlitsTraversed uint64
+	// StalledCycles counts cycles in which the tile could not forward a flit
+	// because of downstream back-pressure.
+	StalledCycles uint64
+	// BusyCycles counts cycles spent serializing flits onto the outgoing link.
+	BusyCycles uint64
+}
+
+// Add accumulates other into t.
+func (t *Tile) Add(other Tile) {
+	t.FlitsTraversed += other.FlitsTraversed
+	t.StalledCycles += other.StalledCycles
+	t.BusyCycles += other.BusyCycles
+}
+
+// Sub returns the counter deltas t - prev.
+func (t Tile) Sub(prev Tile) Tile {
+	return Tile{
+		FlitsTraversed: t.FlitsTraversed - prev.FlitsTraversed,
+		StalledCycles:  t.StalledCycles - prev.StalledCycles,
+		BusyCycles:     t.BusyCycles - prev.BusyCycles,
+	}
+}
+
+// Utilization returns the fraction of the observation window the tile spent
+// serializing flits, given the window length in cycles.
+func (t Tile) Utilization(windowCycles uint64) float64 {
+	if windowCycles == 0 {
+		return 0
+	}
+	u := float64(t.BusyCycles) / float64(windowCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,98 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNICAddSub(t *testing.T) {
+	var c NIC
+	c.Add(NIC{RequestFlits: 10, RequestFlitsStalledCycles: 5, RequestPackets: 2, RequestPacketsCumLatency: 100, MinimalPackets: 1, NonMinimalPackets: 1})
+	c.Add(NIC{RequestFlits: 20, RequestFlitsStalledCycles: 15, RequestPackets: 4, RequestPacketsCumLatency: 300, MinimalPackets: 4})
+	if c.RequestFlits != 30 || c.RequestFlitsStalledCycles != 20 || c.RequestPackets != 6 || c.RequestPacketsCumLatency != 400 {
+		t.Fatalf("unexpected accumulation: %+v", c)
+	}
+	prev := NIC{RequestFlits: 10, RequestFlitsStalledCycles: 5, RequestPackets: 2, RequestPacketsCumLatency: 100, MinimalPackets: 1, NonMinimalPackets: 1}
+	d := c.Sub(prev)
+	if d.RequestFlits != 20 || d.RequestFlitsStalledCycles != 15 || d.RequestPackets != 4 || d.RequestPacketsCumLatency != 300 {
+		t.Fatalf("unexpected delta: %+v", d)
+	}
+	if d.MinimalPackets != 4 || d.NonMinimalPackets != 0 {
+		t.Fatalf("unexpected path breakdown delta: %+v", d)
+	}
+}
+
+func TestStallRatioAndLatency(t *testing.T) {
+	c := NIC{RequestFlits: 100, RequestFlitsStalledCycles: 250, RequestPackets: 20, RequestPacketsCumLatency: 4000}
+	if got := c.StallRatio(); got != 2.5 {
+		t.Fatalf("StallRatio = %v, want 2.5", got)
+	}
+	if got := c.AvgPacketLatency(); got != 200 {
+		t.Fatalf("AvgPacketLatency = %v, want 200", got)
+	}
+}
+
+func TestZeroDivision(t *testing.T) {
+	var c NIC
+	if c.StallRatio() != 0 || c.AvgPacketLatency() != 0 || c.NonMinimalFraction() != 0 {
+		t.Fatal("zero counters must yield zero ratios")
+	}
+}
+
+func TestNonMinimalFraction(t *testing.T) {
+	c := NIC{RequestPackets: 10, MinimalPackets: 7, NonMinimalPackets: 3}
+	if got := c.NonMinimalFraction(); got != 0.3 {
+		t.Fatalf("NonMinimalFraction = %v, want 0.3", got)
+	}
+}
+
+func TestNICString(t *testing.T) {
+	c := NIC{RequestFlits: 5, RequestPackets: 1}
+	s := c.String()
+	if !strings.Contains(s, "flits=5") || !strings.Contains(s, "packets=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTileAddSubUtilization(t *testing.T) {
+	var tl Tile
+	tl.Add(Tile{FlitsTraversed: 100, StalledCycles: 10, BusyCycles: 50})
+	tl.Add(Tile{FlitsTraversed: 100, StalledCycles: 20, BusyCycles: 70})
+	d := tl.Sub(Tile{FlitsTraversed: 100, StalledCycles: 10, BusyCycles: 50})
+	if d.FlitsTraversed != 100 || d.StalledCycles != 20 || d.BusyCycles != 70 {
+		t.Fatalf("unexpected delta %+v", d)
+	}
+	if u := tl.Utilization(240); u != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", u)
+	}
+	if u := tl.Utilization(0); u != 0 {
+		t.Fatalf("Utilization with zero window = %v, want 0", u)
+	}
+	if u := (Tile{BusyCycles: 500}).Utilization(100); u != 1 {
+		t.Fatalf("Utilization must clamp to 1, got %v", u)
+	}
+}
+
+// Property: Sub is the inverse of Add for any pair of counter sets.
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(a, b NIC) bool {
+		c := a
+		c.Add(b)
+		d := c.Sub(a)
+		return d == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ratios are always non-negative and finite for any counter values.
+func TestPropertyRatiosNonNegative(t *testing.T) {
+	f := func(c NIC) bool {
+		return c.StallRatio() >= 0 && c.AvgPacketLatency() >= 0 && c.NonMinimalFraction() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+// Package experiments contains one runner per table and figure of the paper's
+// evaluation, plus the model-validation experiment of §2.4 and ablation
+// studies over the design choices of the application-aware selector. Each
+// runner builds a fresh simulated system, generates the workload and the
+// background interference, and returns trace.Tables holding the same rows or
+// series the paper reports.
+//
+// The absolute sizes (node counts, message sizes, iteration counts) default to
+// values that run on a laptop in seconds to minutes; the Options struct scales
+// them up to paper-like sizes when desired. The claims being reproduced are
+// the qualitative shapes (who wins, by what factor, where the crossovers are),
+// not Piz Daint's absolute microseconds — see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/counters"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/network"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
+)
+
+// Options control the scale of every experiment.
+type Options struct {
+	// Seed seeds all random streams.
+	Seed int64
+	// Iterations is the number of samples collected per configuration.
+	Iterations int
+	// Nodes is the measured job size for the Figure 8/9/10 experiments.
+	Nodes int
+	// SizeScale multiplies every message size (1.0 = the defaults below,
+	// which are already scaled down from the paper's sizes).
+	SizeScale float64
+	// NoiseNodes is the size of the background (interfering) job.
+	NoiseNodes int
+	// NoiseIntervalCycles is the mean inter-message gap of the background job;
+	// smaller means more interference.
+	NoiseIntervalCycles int64
+	// FullAries builds full-size Aries groups (96 routers per group) instead
+	// of the reduced default geometry.
+	FullAries bool
+	// Quick further shrinks sizes and iteration counts so the whole suite runs
+	// in CI/tests within seconds.
+	Quick bool
+}
+
+// DefaultOptions returns laptop-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		Seed:                1,
+		Iterations:          30,
+		Nodes:               48,
+		SizeScale:           1.0,
+		NoiseNodes:          24,
+		NoiseIntervalCycles: 12_000,
+	}
+}
+
+// QuickOptions returns the reduced settings used by unit tests and smoke runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Iterations = 6
+	o.Nodes = 16
+	o.NoiseNodes = 8
+	o.Quick = true
+	return o
+}
+
+// normalize fills in zero fields with defaults.
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = d.Iterations
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = d.Nodes
+	}
+	if o.SizeScale <= 0 {
+		o.SizeScale = d.SizeScale
+	}
+	if o.NoiseNodes <= 0 {
+		o.NoiseNodes = d.NoiseNodes
+	}
+	if o.NoiseIntervalCycles <= 0 {
+		o.NoiseIntervalCycles = d.NoiseIntervalCycles
+	}
+	return o
+}
+
+// iters returns the effective iteration count.
+func (o Options) iters() int {
+	if o.Quick && o.Iterations > 6 {
+		return 6
+	}
+	return o.Iterations
+}
+
+// scaleSize applies the global size scale (and the Quick reduction).
+func (o Options) scaleSize(bytes int64) int64 {
+	v := int64(float64(bytes) * o.SizeScale)
+	if o.Quick {
+		v /= 4
+	}
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// pizDaintGeometry returns the topology used by the Piz Daint style
+// experiments (6 groups, like the allocation of Figure 8).
+func (o Options) pizDaintGeometry() topo.Config {
+	if o.FullAries {
+		return topo.PizDaintLikeConfig()
+	}
+	return topo.Config{
+		Groups:                6,
+		ChassisPerGroup:       2,
+		BladesPerChassis:      8,
+		NodesPerBlade:         2,
+		GlobalLinksPerRouter:  4,
+		IntraGroupLinkWidth:   3,
+		IntraChassisLinkWidth: 1,
+		GlobalLinkWidth:       2,
+	}
+}
+
+// coriGeometry returns the topology used by the Cori style experiment of
+// Figure 9 (5 groups).
+func (o Options) coriGeometry() topo.Config {
+	if o.FullAries {
+		return topo.CoriLikeConfig()
+	}
+	cfg := o.pizDaintGeometry()
+	cfg.Groups = 5
+	return cfg
+}
+
+// env bundles the simulated system of one experiment.
+type env struct {
+	opts   Options
+	topo   *topo.Topology
+	engine *sim.Engine
+	fabric *network.Fabric
+	rng    *rand.Rand
+}
+
+// newEnv builds a fresh system with the given geometry.
+func newEnv(opts Options, geometry topo.Config, seedOffset int64) (*env, error) {
+	t, err := topo.New(geometry)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := routing.NewPolicy(t, routing.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(opts.Seed + seedOffset)
+	fab, err := network.New(engine, t, pol, network.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &env{
+		opts:   opts,
+		topo:   t,
+		engine: engine,
+		fabric: fab,
+		rng:    rand.New(rand.NewSource(opts.Seed + seedOffset)),
+	}, nil
+}
+
+// startBackgroundNoise places a background job on nodes disjoint from used and
+// starts it. It returns nil when there is not enough room for a background job
+// (small test topologies).
+func (e *env) startBackgroundNoise(used map[topo.NodeID]bool, pattern noise.Pattern, until sim.Time) *noise.Generator {
+	n := e.opts.NoiseNodes
+	if e.opts.Quick && n > 8 {
+		n = 8
+	}
+	free := e.topo.NumNodes() - len(used)
+	if n > free {
+		n = free
+	}
+	if n < 2 {
+		return nil
+	}
+	a, err := alloc.Allocate(e.topo, alloc.RandomScatter, n, e.rng, used)
+	if err != nil {
+		return nil
+	}
+	cfg := noise.DefaultGeneratorConfig()
+	cfg.Pattern = pattern
+	cfg.IntervalCycles = e.opts.NoiseIntervalCycles
+	cfg.MessageBytes = e.opts.scaleSize(cfg.MessageBytes)
+	cfg.Seed = e.opts.Seed*7919 + int64(pattern)
+	g, err := noise.FromAllocation(e.fabric, a, cfg)
+	if err != nil {
+		return nil
+	}
+	g.Start(until)
+	return g
+}
+
+// noiseHorizon is the deadline handed to background generators; experiments
+// complete far before it.
+const noiseHorizon sim.Time = 1 << 50
+
+// RoutingSetup names a routing configuration under test.
+type RoutingSetup struct {
+	// Name is the label used in result tables ("Default", "HighBias",
+	// "AppAware").
+	Name string
+	// Provider builds the per-rank routing provider. Called once per rank per
+	// allocation so that stateful selectors are rank-private.
+	Provider func(rank int) mpi.RoutingProvider
+	// Stats, if non-nil, returns the aggregated selector statistics after the
+	// measurement (only meaningful for the application-aware setup).
+	Stats func() core.Stats
+}
+
+// DefaultSetup is the paper's "Default" configuration: ADAPTIVE_0 for
+// everything, ADAPTIVE_1 for alltoall.
+func DefaultSetup() RoutingSetup {
+	return RoutingSetup{
+		Name:     "Default",
+		Provider: func(int) mpi.RoutingProvider { return mpi.DefaultRouting() },
+	}
+}
+
+// HighBiasSetup is the static Adaptive-with-High-Bias configuration.
+func HighBiasSetup() RoutingSetup {
+	return RoutingSetup{
+		Name:     "HighBias",
+		Provider: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.AdaptiveHighBias} },
+	}
+}
+
+// AppAwareSetup is the paper's application-aware routing library, one selector
+// per rank.
+func AppAwareSetup(cfg core.Config) RoutingSetup {
+	var selectors []*core.Selector
+	return RoutingSetup{
+		Name: "AppAware",
+		Provider: func(int) mpi.RoutingProvider {
+			s := core.MustNew(cfg)
+			selectors = append(selectors, s)
+			return mpi.AppAwareRouting{Selector: s}
+		},
+		Stats: func() core.Stats {
+			var agg core.Stats
+			for _, s := range selectors {
+				st := s.Stats()
+				agg.Messages += st.Messages
+				agg.Bytes += st.Bytes
+				agg.DefaultMessages += st.DefaultMessages
+				agg.DefaultBytes += st.DefaultBytes
+				agg.BiasMessages += st.BiasMessages
+				agg.BiasBytes += st.BiasBytes
+				agg.Evaluations += st.Evaluations
+				agg.CounterReads += st.CounterReads
+				agg.Switches += st.Switches
+			}
+			return agg
+		},
+	}
+}
+
+// StandardSetups returns the three configurations compared in Figures 8-10.
+func StandardSetups() []RoutingSetup {
+	return []RoutingSetup{DefaultSetup(), HighBiasSetup(), AppAwareSetup(core.DefaultConfig())}
+}
+
+// Measurement is the result of measuring one routing setup on one workload.
+type Measurement struct {
+	// Times holds one execution time (cycles) per iteration.
+	Times []float64
+	// Deltas holds the per-iteration NIC counter deltas summed over the job.
+	Deltas []counters.NIC
+	// SelectorStats aggregates selector statistics (zero for static setups).
+	SelectorStats core.Stats
+}
+
+// jobCounters sums the NIC counters of all nodes of an allocation.
+func jobCounters(f *network.Fabric, a *alloc.Allocation) counters.NIC {
+	var total counters.NIC
+	for _, n := range a.Nodes() {
+		total.Add(f.NodeCounters(n))
+	}
+	return total
+}
+
+// measureSetups runs the workload under every routing setup, alternating the
+// setups on successive iterations (as the paper does, so that transient noise
+// does not penalize a single configuration), and returns one Measurement per
+// setup keyed by name.
+func (e *env) measureSetups(a *alloc.Allocation, setups []RoutingSetup,
+	hostNoise func(int) int64, w workloads.Workload, iterations int) (map[string]*Measurement, error) {
+
+	comms := make([]*mpi.Comm, len(setups))
+	for i, s := range setups {
+		c, err := mpi.NewComm(e.fabric, a, mpi.Config{Routing: s.Provider, HostNoise: hostNoise})
+		if err != nil {
+			return nil, err
+		}
+		comms[i] = c
+	}
+	out := make(map[string]*Measurement, len(setups))
+	for _, s := range setups {
+		out[s.Name] = &Measurement{}
+	}
+	for iter := 0; iter < iterations; iter++ {
+		for i, s := range setups {
+			before := jobCounters(e.fabric, a)
+			start := e.engine.Now()
+			if err := comms[i].Run(w.Run); err != nil {
+				return nil, fmt.Errorf("experiment iteration %d, setup %s: %w", iter, s.Name, err)
+			}
+			for r := 0; r < comms[i].Size(); r++ {
+				if err := comms[i].Rank(r).Err(); err != nil {
+					return nil, fmt.Errorf("setup %s rank %d: %w", s.Name, r, err)
+				}
+			}
+			elapsed := float64(e.engine.Now() - start)
+			m := out[s.Name]
+			m.Times = append(m.Times, elapsed)
+			m.Deltas = append(m.Deltas, jobCounters(e.fabric, a).Sub(before))
+		}
+	}
+	for _, s := range setups {
+		if s.Stats != nil {
+			out[s.Name].SelectorStats = s.Stats()
+		}
+	}
+	return out, nil
+}
+
+// measureSingle is a convenience wrapper measuring a single routing setup.
+func (e *env) measureSingle(a *alloc.Allocation, setup RoutingSetup,
+	hostNoise func(int) int64, w workloads.Workload, iterations int) (*Measurement, error) {
+	res, err := e.measureSetups(a, []RoutingSetup{setup}, hostNoise, w, iterations)
+	if err != nil {
+		return nil, err
+	}
+	return res[setup.Name], nil
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) ([]*trace.Table, error)
+
+// Registry maps experiment ids (as used by cmd/experiments -exp) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig3":       Figure3Allocations,
+		"tab1":       Table1IdleFlits,
+		"fig4":       Figure4OnNodeAlltoall,
+		"fig5":       Figure5QCD,
+		"fig7":       Figure7RoutingPingPong,
+		"model":      ModelValidation,
+		"fig8":       Figure8Microbenchmarks,
+		"fig9":       Figure9MicrobenchmarksCori,
+		"fig10":      Figure10Applications,
+		"ablations":  Ablations,
+		"noisesweep": NoiseSweep,
+		"hysteresis": HysteresisStudy,
+		"sched":      SchedulerInterference,
+		"baselines":  BaselineComparison,
+		"collalgos":  CollectiveAlgorithms,
+		"telemetry":  TelemetryCongestion,
+		"biassweep":  BiasSweep,
+	}
+}
+
+// Names returns the sorted experiment ids.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for k := range reg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) ([]*trace.Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Names())
+	}
+	return r(opts)
+}
+
+// summaryRow appends the usual distribution columns for a label and sample set.
+func summaryRow(t *trace.Table, label string, xs []float64, extra ...any) {
+	s := stats.Summarize(xs)
+	cells := append([]any{label, s.Median, s.Mean, s.Q1, s.Q3, s.IQR, s.QCD, s.Outliers}, extra...)
+	t.AddRow(cells...)
+}
+
+// summaryColumns returns the matching column headers for summaryRow.
+func summaryColumns(first string, extra ...string) []string {
+	cols := []string{first, "median", "mean", "q1", "q3", "iqr", "qcd", "outliers"}
+	return append(cols, extra...)
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
+)
+
+// The experiments in this file go beyond the paper's figures: they probe the
+// design space the paper only discusses qualitatively (§6 Limitations and the
+// Discussion of oscillations in §5.1).
+
+// NoiseSweep measures how the three routing configurations react as the
+// intensity of the interfering background job grows, for a fixed alltoall
+// workload. The paper argues that the benefit of biasing towards minimal paths
+// depends on how much congestion-avoidance is actually needed; sweeping the
+// interference intensity makes that trade-off visible on one axis.
+func NoiseSweep(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	size := opts.scaleSize(8 << 10)
+	table := trace.NewTable(
+		fmt.Sprintf("Extension: alltoall %d B under increasing background interference", size),
+		"noise interval (cycles)",
+		"default median", "highbias median", "appaware median",
+		"highbias vs default", "appaware vs default",
+		"appaware % default traffic")
+
+	intervals := []int64{0, 48_000, 12_000, 3_000}
+	if opts.Quick {
+		intervals = []int64{0, 12_000}
+	}
+	for i, interval := range intervals {
+		runOpts := opts
+		runOpts.NoiseIntervalCycles = interval
+		e, err := newEnv(runOpts, runOpts.pizDaintGeometry(), 2000+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		n := runOpts.Nodes / 2
+		if n < 8 {
+			n = 8
+		}
+		if n > e.topo.NumNodes() {
+			n = e.topo.NumNodes()
+		}
+		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		if interval > 0 {
+			e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
+		}
+		setups := StandardSetups()
+		w := &workloads.Alltoall{MessageBytes: size, Iterations: 1}
+		res, err := e.measureSetups(job, setups, nil, w, runOpts.iters())
+		if err != nil {
+			return nil, err
+		}
+		dm := stats.Median(res["Default"].Times)
+		hm := stats.Median(res["HighBias"].Times)
+		am := stats.Median(res["AppAware"].Times)
+		label := "none"
+		if interval > 0 {
+			label = fmt.Sprintf("%d", interval)
+		}
+		table.AddRow(label, dm, hm, am, hm/dm, am/dm,
+			res["AppAware"].SelectorStats.DefaultTrafficFraction()*100)
+	}
+	return []*trace.Table{table}, nil
+}
+
+// HysteresisStudy evaluates the oscillation-damping extension (the
+// SwitchConfirmations knob added to the selector) on the workloads where the
+// paper observed the plain algorithm failing to converge: broadcast of large
+// messages and sweep3d. It reports the median time, the number of mode
+// switches and the fraction of default-routed traffic per confirmation level.
+func HysteresisStudy(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	cases := []struct {
+		label string
+		build func(ranks int) workloads.Workload
+	}{
+		{"broadcast/1MiB", func(r int) workloads.Workload {
+			return &workloads.Broadcast{MessageBytes: opts.scaleSize(1 << 20), Iterations: 1}
+		}},
+		{"sweep3d/256", func(r int) workloads.Workload {
+			return workloads.NewSweep3D(r, opts.scaleSize(256), 1)
+		}},
+	}
+	confirmations := []int{1, 2, 4, 8}
+	if opts.Quick {
+		confirmations = []int{1, 4}
+	}
+
+	var tables []*trace.Table
+	for ci, c := range cases {
+		table := trace.NewTable(
+			fmt.Sprintf("Extension: selector hysteresis on %s", c.label),
+			"switch confirmations", "median time (cycles)", "qcd", "mode switches", "% default traffic")
+		for ki, k := range confirmations {
+			e, err := newEnv(opts, opts.pizDaintGeometry(), 3000+int64(ci*100+ki))
+			if err != nil {
+				return nil, err
+			}
+			n := opts.Nodes / 2
+			if n < 8 {
+				n = 8
+			}
+			if n > e.topo.NumNodes() {
+				n = e.topo.NumNodes()
+			}
+			job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
+			if err != nil {
+				return nil, err
+			}
+			e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
+
+			cfg := core.DefaultConfig()
+			cfg.SwitchConfirmations = k
+			setup := AppAwareSetup(cfg)
+			m, err := e.measureSingle(job, setup, nil, c.build(job.Size()), opts.iters())
+			if err != nil {
+				return nil, err
+			}
+			st := setup.Stats()
+			table.AddRow(k, stats.Median(m.Times), stats.QCD(m.Times),
+				st.Switches, st.DefaultTrafficFraction()*100)
+		}
+		tables = append(tables, table)
+	}
+	return tables, nil
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/patternaware"
+	"dragonfly/internal/sched"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/telemetry"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
+)
+
+// PatternAwareSetup wraps the traffic-pattern-based classifier (the
+// related-work baseline) as a routing setup comparable to the paper's
+// application-aware selector.
+func PatternAwareSetup(cfg patternaware.Config) RoutingSetup {
+	var classifiers []*patternaware.Classifier
+	return RoutingSetup{
+		Name: "PatternAware",
+		Provider: func(int) mpi.RoutingProvider {
+			c := patternaware.MustNew(cfg)
+			classifiers = append(classifiers, c)
+			return c
+		},
+		Stats: func() core.Stats {
+			var agg core.Stats
+			for _, c := range classifiers {
+				st := c.Stats()
+				agg.Messages += st.Messages
+				agg.Bytes += st.Bytes
+				agg.DefaultBytes += st.DefaultBytes
+				agg.BiasBytes += st.BiasBytes
+				agg.Evaluations += st.Classifications
+			}
+			return agg
+		},
+	}
+}
+
+// SchedulerInterference is an extension experiment: a measured halo3d job runs
+// while a batch scheduler churns a synthetic production mix around it, and the
+// measurement is repeated for every combination of scheduler placement policy
+// (contiguous, random, hybrid) and routing setup (Default, High Bias,
+// Application-Aware). It connects the paper's routing-based mitigation to the
+// allocation-based mitigation of the related work: placement changes how much
+// interference exists, the routing mode changes how much of it the job absorbs.
+func SchedulerInterference(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	table := trace.NewTable(
+		fmt.Sprintf("Scheduler interference: halo3d on %d nodes under a batch mix, by placement policy and routing", opts.Nodes/2),
+		"placement", "routing", "median (cycles)", "norm median", "qcd",
+		"appaware % default traffic", "mix jobs finished", "mean groups spanned")
+
+	placements := []sched.AllocationPolicy{sched.PlaceContiguous, sched.PlaceRandom, sched.PlaceHybrid}
+	jobNodes := opts.Nodes / 2
+	if jobNodes < 8 {
+		jobNodes = 8
+	}
+	for pi, placement := range placements {
+		e, err := newEnv(opts, opts.pizDaintGeometry(), 5_000+int64(pi))
+		if err != nil {
+			return nil, err
+		}
+		n := jobNodes
+		if n > e.topo.NumNodes()/2 {
+			n = e.topo.NumNodes() / 2
+		}
+		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
+		if err != nil {
+			return nil, err
+		}
+
+		// The batch mix occupies the rest of the machine for the whole run.
+		s := sched.New(e.fabric, sched.Config{Placement: placement, Backfill: true, Seed: opts.Seed + int64(pi)})
+		s.Reserve(job.Nodes())
+		mixCfg := sched.DefaultMixConfig()
+		mixCfg.Seed = opts.Seed + 17
+		mixCfg.Jobs = 24
+		if opts.Quick {
+			mixCfg.Jobs = 8
+			mixCfg.IntervalCycles *= 3
+		}
+		mixCfg.MaxNodes = e.topo.NumNodes() / 4
+		mixCfg.MinDurationCycles = 2_000_000
+		mixCfg.MaxDurationCycles = 20_000_000
+		specs, err := sched.GenerateMix(mixCfg, e.topo.NumNodes()-job.Size())
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			if _, err := s.Submit(spec); err != nil {
+				return nil, err
+			}
+		}
+		s.Start()
+
+		w := workloads.NewHalo3D(job.Size(), opts.scaleSize(256), 2)
+		setups := StandardSetups()
+		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
+		if err != nil {
+			return nil, fmt.Errorf("placement %s: %w", placement, err)
+		}
+		defMedian := stats.Median(res["Default"].Times)
+		schedStats := s.Stats()
+		for _, setup := range setups {
+			m := res[setup.Name]
+			med := stats.Median(m.Times)
+			norm := 0.0
+			if defMedian > 0 {
+				norm = med / defMedian
+			}
+			pct := 0.0
+			if setup.Name == "AppAware" {
+				pct = m.SelectorStats.DefaultTrafficFraction() * 100
+			}
+			table.AddRow(placement.String(), setup.Name, med, norm, stats.QCD(m.Times),
+				pct, schedStats.Finished, schedStats.MeanGroupsSpanned)
+		}
+	}
+	return []*trace.Table{table}, nil
+}
+
+// BaselineComparison is an extension experiment comparing the paper's
+// counter-model-driven selector against the traffic-pattern-based baseline
+// (and the two static modes) on workloads where the two disagree: a
+// latency-bound ping-pong, a bandwidth-bound alltoall and the halo3d stencil.
+func BaselineComparison(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	cases := []microCase{
+		{"pingpong", "pingpong/16KiB", func(r int, o Options) workloads.Workload {
+			return &workloads.PingPong{MessageBytes: o.scaleSize(16 << 10), Iterations: 4}
+		}},
+		{"alltoall", "alltoall/16KiB", func(r int, o Options) workloads.Workload {
+			return &workloads.Alltoall{MessageBytes: o.scaleSize(16 << 10), Iterations: 1}
+		}},
+		{"halo3d", "halo3d/512", func(r int, o Options) workloads.Workload {
+			return workloads.NewHalo3D(r, o.scaleSize(512), 2)
+		}},
+	}
+	if opts.Quick {
+		cases = cases[:2]
+	}
+	table := trace.NewTable(
+		fmt.Sprintf("Selector baselines: AppAware (paper) vs PatternAware (related work) vs static, %d nodes", opts.Nodes),
+		"benchmark", "setup", "median (cycles)", "norm median", "qcd", "% default traffic")
+
+	for i, c := range cases {
+		e, err := newEnv(opts, opts.pizDaintGeometry(), 6_000+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		n := opts.Nodes
+		if n > e.topo.NumNodes() {
+			n = e.topo.NumNodes()
+		}
+		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
+
+		setups := []RoutingSetup{
+			DefaultSetup(),
+			HighBiasSetup(),
+			AppAwareSetup(core.DefaultConfig()),
+			PatternAwareSetup(patternaware.DefaultConfig()),
+		}
+		w := c.build(job.Size(), opts)
+		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.label, err)
+		}
+		defMedian := stats.Median(res["Default"].Times)
+		for _, setup := range setups {
+			m := res[setup.Name]
+			med := stats.Median(m.Times)
+			norm := 0.0
+			if defMedian > 0 {
+				norm = med / defMedian
+			}
+			pct := m.SelectorStats.DefaultTrafficFraction() * 100
+			if setup.Name == "Default" {
+				pct = 100
+			}
+			if setup.Name == "HighBias" {
+				pct = 0
+			}
+			table.AddRow(c.label, setup.Name, med, norm, stats.QCD(m.Times), pct)
+		}
+	}
+	return []*trace.Table{table}, nil
+}
+
+// CollectiveAlgorithms is an ablation over the interaction between the
+// collective algorithm and the routing mode: the same logical alltoall or
+// allreduce generates very different traffic depending on the algorithm
+// (pairwise vs Bruck vs spread; recursive doubling vs ring vs Rabenseifner),
+// and with it the best routing mode can change.
+func CollectiveAlgorithms(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	size := opts.scaleSize(16 << 10)
+	algos := []struct {
+		label string
+		body  func(r *mpi.Rank)
+	}{
+		{"alltoall/pairwise", func(r *mpi.Rank) { r.Alltoall(size) }},
+		{"alltoall/bruck", func(r *mpi.Rank) { r.AlltoallBruck(size) }},
+		{"alltoall/spread", func(r *mpi.Rank) { r.AlltoallSpread(size) }},
+		{"allreduce/doubling", func(r *mpi.Rank) { r.Allreduce(size) }},
+		{"allreduce/ring", func(r *mpi.Rank) { r.AllreduceRing(size) }},
+		{"allreduce/rabenseifner", func(r *mpi.Rank) { r.AllreduceRabenseifner(size) }},
+	}
+	if opts.Quick {
+		algos = []struct {
+			label string
+			body  func(r *mpi.Rank)
+		}{algos[0], algos[1], algos[3], algos[4]}
+	}
+	table := trace.NewTable(
+		fmt.Sprintf("Collective algorithm ablation, %d nodes, %d-byte blocks", opts.Nodes, size),
+		"algorithm", "default median", "highbias norm median", "appaware norm median",
+		"appaware % default traffic", "best static")
+
+	for i, a := range algos {
+		e, err := newEnv(opts, opts.pizDaintGeometry(), 7_000+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		n := opts.Nodes
+		if n > e.topo.NumNodes() {
+			n = e.topo.NumNodes()
+		}
+		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
+
+		setups := StandardSetups()
+		w := workloads.Func{WorkloadName: a.label, Body: a.body}
+		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.label, err)
+		}
+		defMedian := stats.Median(res["Default"].Times)
+		hbMedian := stats.Median(res["HighBias"].Times)
+		aaMedian := stats.Median(res["AppAware"].Times)
+		norm := func(v float64) float64 {
+			if defMedian > 0 {
+				return v / defMedian
+			}
+			return 0
+		}
+		best := "Default"
+		if hbMedian < defMedian {
+			best = "HighBias"
+		}
+		table.AddRow(a.label, defMedian, norm(hbMedian), norm(aaMedian),
+			res["AppAware"].SelectorStats.DefaultTrafficFraction()*100, best)
+	}
+	return []*trace.Table{table}, nil
+}
+
+// TelemetryCongestion is an extension experiment: it runs an alltoall under an
+// interfering bully job while a fabric-wide telemetry collector samples every
+// tier, and reports the congestion time series and the group-to-group traffic
+// concentration for the Adaptive and High-Bias modes. It quantifies the
+// mechanism of §4.1: non-minimal routing spreads flits over more global links
+// (flatter matrix, more total global flits), at the price of occupying
+// resources of groups the job does not even use.
+func TelemetryCongestion(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	summary := trace.NewTable(
+		fmt.Sprintf("Telemetry: alltoall/16KiB with a bully job, %d nodes", opts.Nodes/2),
+		"routing", "samples", "mean max-util", "peak max-util",
+		"hotspot intervals (>=80%)", "global flits", "intra-group flits",
+		"mean stall ratio", "mean packet latency")
+
+	var matrices []*trace.Table
+	for si, setup := range []RoutingSetup{DefaultSetup(), HighBiasSetup()} {
+		e, err := newEnv(opts, opts.pizDaintGeometry(), 8_000+int64(si))
+		if err != nil {
+			return nil, err
+		}
+		n := opts.Nodes / 2
+		if n < 8 {
+			n = 8
+		}
+		if n > e.topo.NumNodes()/2 {
+			n = e.topo.NumNodes() / 2
+		}
+		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.AlltoallBully, noiseHorizon)
+
+		col := telemetry.MustNewCollector(e.fabric, telemetry.Config{
+			IntervalCycles:   50_000,
+			TopLinks:         3,
+			TrackGroupMatrix: true,
+		})
+		col.Start(noiseHorizon)
+
+		w := &workloads.Alltoall{MessageBytes: opts.scaleSize(16 << 10), Iterations: 1}
+		iters := opts.iters()
+		if iters > 10 {
+			iters = 10
+		}
+		if _, err := e.measureSingle(job, setup, nil, w, iters); err != nil {
+			return nil, fmt.Errorf("telemetry under %s: %w", setup.Name, err)
+		}
+		col.Stop()
+		col.Flush()
+
+		maxUtil, _ := col.Series("max-util")
+		stall, _ := col.Series("stall-ratio")
+		lat, _ := col.Series("packet-latency")
+		var globalFlits, intraGroupFlits uint64
+		for _, s := range col.Samples() {
+			globalFlits += s.Tiers[topo.LinkGlobal].Flits
+			intraGroupFlits += s.Tiers[topo.LinkIntraGroup].Flits
+		}
+		summary.AddRow(setup.Name, len(col.Samples()),
+			stats.Mean(maxUtil), stats.Max(maxUtil),
+			len(col.HotspotIntervals(0.8)), globalFlits, intraGroupFlits,
+			stats.Mean(stall), stats.Mean(lat))
+
+		m := col.AggregateGroupMatrix()
+		mt := trace.NewTable(fmt.Sprintf("Group-to-group flits under %s routing", setup.Name), "src\\dst", "row")
+		for i, row := range m {
+			mt.AddRow(fmt.Sprintf("g%d", i), fmt.Sprint(row))
+		}
+		matrices = append(matrices, mt)
+	}
+	return append([]*trace.Table{summary}, matrices...), nil
+}

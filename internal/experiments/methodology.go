@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/counters"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/perfmodel"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
+)
+
+// Figure3Allocations reproduces Figure 3: the distribution of ping-pong times
+// for a 16 KiB message between two nodes placed at increasing topological
+// distance (same blade, different blades, different chassis, different
+// groups), with background traffic sharing the machine. Both the median and
+// the spread (IQR, outliers) must grow with distance.
+func Figure3Allocations(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	msgSize := opts.scaleSize(16 << 10)
+	table := trace.NewTable(
+		fmt.Sprintf("Figure 3: ping-pong %d B across allocation classes (cycles)", msgSize),
+		summaryColumns("allocation", "max")...)
+
+	classes := []topo.AllocationClass{
+		topo.AllocInterNodes, topo.AllocInterBlades, topo.AllocInterChassis, topo.AllocInterGroups,
+	}
+	for i, class := range classes {
+		e, err := newEnv(opts, opts.pizDaintGeometry(), int64(i))
+		if err != nil {
+			return nil, err
+		}
+		a, b, err := alloc.PairForClass(e.topo, class)
+		if err != nil {
+			return nil, err
+		}
+		pair := alloc.NewAllocation(e.topo, []topo.NodeID{a, b})
+		e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
+		w := &workloads.PingPong{MessageBytes: msgSize, Iterations: 1}
+		m, err := e.measureSingle(pair, DefaultSetup(), nil, w, opts.iters())
+		if err != nil {
+			return nil, err
+		}
+		summaryRow(table, class.String(), m.Times, stats.Max(m.Times))
+	}
+	return []*trace.Table{table}, nil
+}
+
+// Table1IdleFlits reproduces Table 1: an application that only sleeps observes
+// its routers' tile counters; doubling the sleep roughly doubles the observed
+// incoming flits and stalled cycles even though the application sent nothing —
+// correlation between execution time and router-counter traffic is not
+// causation.
+func Table1IdleFlits(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	e, err := newEnv(opts, opts.pizDaintGeometry(), 101)
+	if err != nil {
+		return nil, err
+	}
+	// The idle job: 16 nodes (or fewer on tiny systems), as in the paper.
+	jobNodes := 16
+	if jobNodes > e.topo.NumNodes()/2 {
+		jobNodes = e.topo.NumNodes() / 2
+	}
+	job, err := alloc.Allocate(e.topo, alloc.Contiguous, jobNodes, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
+
+	baseIdle := int64(2_000_000) // "1 second" of simulated idling, scaled
+	if opts.Quick {
+		baseIdle = 400_000
+	}
+	table := trace.NewTable(
+		"Table 1: idle time vs observed router-tile traffic",
+		"idle (units)", "idle (cycles)", "incoming flits", "stalled cycles")
+	routers := job.Routers()
+	for _, mult := range []int64{1, 2} {
+		beforeFlits, beforeStalls := e.fabric.IncomingFlits(routers)
+		deadline := e.engine.Now() + baseIdle*mult
+		if err := e.engine.RunUntil(deadline); err != nil {
+			return nil, err
+		}
+		afterFlits, afterStalls := e.fabric.IncomingFlits(routers)
+		table.AddRow(mult, baseIdle*mult, afterFlits-beforeFlits, afterStalls-beforeStalls)
+	}
+	return []*trace.Table{table}, nil
+}
+
+// Figure4OnNodeAlltoall reproduces Figure 4: an MPI_Alltoall between 8 ranks
+// on the same node uses no network at all, yet its execution time still varies
+// because of host-side noise — so communication-time variability alone must
+// not be read as network noise.
+func Figure4OnNodeAlltoall(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	e, err := newEnv(opts, opts.pizDaintGeometry(), 202)
+	if err != nil {
+		return nil, err
+	}
+	// Eight ranks pinned to the same node: every transfer is a loopback copy.
+	nodes := make([]topo.NodeID, 8)
+	for i := range nodes {
+		nodes[i] = 0
+	}
+	a := alloc.NewAllocation(e.topo, nodes)
+	host := noise.MustNewHostNoise(noise.DefaultHostNoiseConfig())
+
+	table := trace.NewTable(
+		"Figure 4: on-node alltoall (8 ranks, one node) execution time vs size (cycles)",
+		summaryColumns("message size (B)", "nic packets")...)
+	for _, size := range []int64{64, 1 << 10, 16 << 10, 128 << 10} {
+		size = opts.scaleSize(size)
+		w := &workloads.Alltoall{MessageBytes: size, Iterations: 1}
+		m, err := e.measureSingle(a, DefaultSetup(), host.Sampler(), w, opts.iters())
+		if err != nil {
+			return nil, err
+		}
+		var packets uint64
+		for _, d := range m.Deltas {
+			packets += d.RequestPackets
+		}
+		summaryRow(table, fmt.Sprintf("%d", size), m.Times, packets)
+	}
+	return []*trace.Table{table}, nil
+}
+
+// Figure5QCD reproduces Figure 5: for an inter-group ping-pong, the quartile
+// coefficient of dispersion of the end-to-end execution time overestimates the
+// QCD of the network packet latency, especially for small messages, and the
+// two converge as the message size grows.
+func Figure5QCD(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	e, err := newEnv(opts, opts.pizDaintGeometry(), 303)
+	if err != nil {
+		return nil, err
+	}
+	src, dst, err := alloc.PairForClass(e.topo, topo.AllocInterGroups)
+	if err != nil {
+		return nil, err
+	}
+	pair := alloc.NewAllocation(e.topo, []topo.NodeID{src, dst})
+	e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
+	host := noise.MustNewHostNoise(noise.DefaultHostNoiseConfig())
+
+	table := trace.NewTable(
+		"Figure 5: QCD of execution time vs QCD of packet latency (inter-group ping-pong)",
+		"message size (B)", "qcd exec time", "qcd packet latency", "median exec (cycles)", "median latency (cycles)")
+
+	sizes := []int64{128, 1 << 10, 16 << 10, 128 << 10, 1 << 20}
+	if opts.Quick {
+		sizes = sizes[:3]
+	}
+	for _, base := range sizes {
+		size := opts.scaleSize(base)
+		w := &workloads.PingPong{MessageBytes: size, Iterations: 1}
+		m, err := e.measureSingle(pair, DefaultSetup(), host.Sampler(), w, opts.iters())
+		if err != nil {
+			return nil, err
+		}
+		latencies := make([]float64, 0, len(m.Deltas))
+		for _, d := range m.Deltas {
+			latencies = append(latencies, d.AvgPacketLatency())
+		}
+		table.AddRow(fmt.Sprintf("%d", size),
+			stats.QCD(m.Times), stats.QCD(latencies),
+			stats.Median(m.Times), stats.Median(latencies))
+	}
+	return []*trace.Table{table}, nil
+}
+
+// ModelValidation reproduces the §2.4 validation of the performance model:
+// across allocations and message sizes, the Eq. 2 estimate computed from the
+// observed counters must correlate strongly with the measured transmission
+// time (the paper reports an average correlation of 79%).
+func ModelValidation(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	table := trace.NewTable(
+		"Performance model validation (Eq. 2 estimate vs measured ping-pong time)",
+		"message size (B)", "pearson correlation", "samples")
+
+	sizes := []int64{128, 4 << 10, 64 << 10, 512 << 10}
+	if opts.Quick {
+		sizes = sizes[:3]
+	}
+	allocsPerSize := 6
+	if opts.Quick {
+		allocsPerSize = 3
+	}
+	var all []float64
+	for _, base := range sizes {
+		size := opts.scaleSize(base)
+		var measured, estimated []float64
+		for run := 0; run < allocsPerSize; run++ {
+			e, err := newEnv(opts, opts.pizDaintGeometry(), 400+int64(run))
+			if err != nil {
+				return nil, err
+			}
+			class := []topo.AllocationClass{
+				topo.AllocInterBlades, topo.AllocInterChassis, topo.AllocInterGroups,
+			}[run%3]
+			src, dst, err := alloc.PairForClass(e.topo, class)
+			if err != nil {
+				return nil, err
+			}
+			pair := alloc.NewAllocation(e.topo, []topo.NodeID{src, dst})
+			e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
+			w := &workloads.PingPong{MessageBytes: size, Iterations: 1}
+			m, err := e.measureSingle(pair, DefaultSetup(), nil, w, opts.iters())
+			if err != nil {
+				return nil, err
+			}
+			for i, d := range m.Deltas {
+				// The delta covers a full round trip (two messages); halve it
+				// to approximate one transmission, matching T_msg.
+				params := perfmodel.ParamsFromCounters(halveDelta(d))
+				estimated = append(estimated, perfmodel.EstimateForSize(size, params))
+				measured = append(measured, m.Times[i]/2)
+			}
+		}
+		r, err := stats.PearsonCorrelation(measured, estimated)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, r)
+		table.AddRow(fmt.Sprintf("%d", size), r, len(measured))
+	}
+	table.AddRow("average", stats.Mean(all), "")
+	return []*trace.Table{table}, nil
+}
+
+// halveDelta divides a round-trip counter delta by two (both directions of a
+// ping-pong contribute to the job-wide counters).
+func halveDelta(d counters.NIC) counters.NIC {
+	return counters.NIC{
+		RequestFlits:              d.RequestFlits / 2,
+		RequestFlitsStalledCycles: d.RequestFlitsStalledCycles / 2,
+		RequestPackets:            d.RequestPackets / 2,
+		RequestPacketsCumLatency:  d.RequestPacketsCumLatency / 2,
+		MinimalPackets:            d.MinimalPackets / 2,
+		NonMinimalPackets:         d.NonMinimalPackets / 2,
+	}
+}

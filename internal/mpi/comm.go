@@ -1,0 +1,268 @@
+// Package mpi provides a small message-passing layer on top of the simulated
+// Dragonfly fabric: ranks mapped onto allocated nodes, blocking and
+// non-blocking point-to-point operations, and the collective operations used
+// by the paper's microbenchmarks (barrier, broadcast, allreduce, alltoall).
+//
+// Each rank runs as a goroutine written in ordinary blocking style; a
+// cooperative scheduler interleaves the rank goroutines with the discrete
+// event engine so that exactly one goroutine (either a rank or the engine
+// loop) runs at a time, keeping the simulation deterministic.
+//
+// The per-message routing decision hook sits exactly where the paper's
+// LD_PRELOAD library interposes on uGNI: immediately before handing the
+// message to the NIC (see RoutingProvider).
+package mpi
+
+import (
+	"fmt"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+)
+
+// RoutingProvider decides the routing mode for each message a rank sends. It
+// is the interposition point of the paper's application-aware library.
+type RoutingProvider interface {
+	// SelectMode is called before a message of msgSize bytes of the given
+	// traffic kind is sent. The returned overhead (cycles) is charged to the
+	// sending rank as host-side time, and observe, if non-nil, is invoked with
+	// the per-message NIC counter delta once the transfer completes.
+	SelectMode(msgSize int64, kind core.TrafficKind) (mode routing.Mode, overhead int64, observe func(delta DeliveryCounters))
+}
+
+// DeliveryCounters is re-exported so RoutingProvider implementations do not
+// need to import the network package.
+type DeliveryCounters = network.Delivery
+
+// StaticRouting always returns the same routing mode (used for the paper's
+// per-mode baselines).
+type StaticRouting struct {
+	// Mode is the routing mode applied to every message.
+	Mode routing.Mode
+	// AlltoallMode, if non-nil, overrides Mode for alltoall traffic, mirroring
+	// MPICH_GNI_A2A_ROUTING_MODE (the "Default" configuration of the paper
+	// routes alltoall with Increasingly Minimal Bias).
+	AlltoallMode *routing.Mode
+}
+
+// SelectMode implements RoutingProvider.
+func (s StaticRouting) SelectMode(_ int64, kind core.TrafficKind) (routing.Mode, int64, func(DeliveryCounters)) {
+	if kind == core.Alltoall && s.AlltoallMode != nil {
+		return *s.AlltoallMode, 0, nil
+	}
+	return s.Mode, 0, nil
+}
+
+// DefaultRouting returns the system default configuration used as the paper's
+// "Default" baseline: ADAPTIVE_0 for everything except alltoall, which uses
+// ADAPTIVE_1 (Increasingly Minimal Bias).
+func DefaultRouting() RoutingProvider {
+	imb := routing.IncreasinglyMinimalBias
+	return StaticRouting{Mode: routing.Adaptive, AlltoallMode: &imb}
+}
+
+// AppAwareRouting adapts a core.Selector to the RoutingProvider interface.
+type AppAwareRouting struct {
+	// Selector is the per-rank application-aware selector.
+	Selector *core.Selector
+}
+
+// SelectMode implements RoutingProvider by running Algorithm 1 and feeding the
+// per-message counter delta back into the selector.
+func (a AppAwareRouting) SelectMode(msgSize int64, kind core.TrafficKind) (routing.Mode, int64, func(DeliveryCounters)) {
+	d := a.Selector.Select(msgSize, kind)
+	var observe func(DeliveryCounters)
+	if d.Evaluated {
+		mode := d.Mode
+		observe = func(del DeliveryCounters) { a.Selector.Observe(mode, del.Counters) }
+	}
+	return d.Mode, d.OverheadCycles, observe
+}
+
+// Config configures a communicator.
+type Config struct {
+	// Routing builds the routing provider for one rank. It is called once per
+	// rank so that stateful providers (application-aware selectors) are not
+	// shared between ranks. If nil, DefaultRouting is used for every rank.
+	Routing func(rank int) RoutingProvider
+	// Verb is the RDMA verb used for payload transfers.
+	Verb network.Verb
+	// EagerLimit is reserved for future use (all transfers currently follow
+	// the same completion semantics).
+	EagerLimit int64
+	// HostNoise, if non-nil, returns a host-side delay in cycles sampled at
+	// every point-to-point operation, modelling OS noise and node-level
+	// contention (used by the Figure 4 experiment).
+	HostNoise func(rank int) int64
+}
+
+// Comm is a communicator: a set of ranks mapped onto allocated nodes.
+type Comm struct {
+	fabric *network.Fabric
+	alloc  *alloc.Allocation
+	cfg    Config
+	ranks  []*Rank
+
+	// mailbox[src][dst] is the FIFO of arrived-but-unmatched deliveries.
+	mailbox map[pairKey][]*network.Delivery
+	// waiting[src][dst] is the FIFO of posted-but-unmatched receive requests.
+	waiting map[pairKey][]*Request
+
+	runnable []*Rank
+	notify   chan *Rank
+}
+
+type pairKey struct{ src, dst int }
+
+// NewComm builds a communicator with one rank per allocated node.
+func NewComm(fabric *network.Fabric, a *alloc.Allocation, cfg Config) (*Comm, error) {
+	if a.Size() == 0 {
+		return nil, fmt.Errorf("mpi: empty allocation")
+	}
+	c := &Comm{
+		fabric:  fabric,
+		alloc:   a,
+		cfg:     cfg,
+		mailbox: make(map[pairKey][]*network.Delivery),
+		waiting: make(map[pairKey][]*Request),
+		notify:  make(chan *Rank),
+	}
+	for i := 0; i < a.Size(); i++ {
+		var provider RoutingProvider
+		if cfg.Routing != nil {
+			provider = cfg.Routing(i)
+		} else {
+			provider = DefaultRouting()
+		}
+		c.ranks = append(c.ranks, &Rank{
+			comm:    c,
+			rank:    i,
+			node:    a.Node(i),
+			routing: provider,
+			resume:  make(chan struct{}),
+		})
+	}
+	return c, nil
+}
+
+// MustNewComm is like NewComm but panics on error.
+func MustNewComm(fabric *network.Fabric, a *alloc.Allocation, cfg Config) *Comm {
+	c, err := NewComm(fabric, a, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Fabric returns the underlying fabric.
+func (c *Comm) Fabric() *network.Fabric { return c.fabric }
+
+// Allocation returns the node allocation backing the communicator.
+func (c *Comm) Allocation() *alloc.Allocation { return c.alloc }
+
+// Rank returns the rank object with the given index (useful to inspect
+// per-rank state such as selector statistics after a run).
+func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
+
+// engine returns the simulation engine.
+func (c *Comm) engine() *sim.Engine { return c.fabric.Engine() }
+
+// markRunnable re-queues a rank whose pending operation completed. It must be
+// called from the scheduler goroutine (engine event callbacks qualify).
+func (c *Comm) markRunnable(r *Rank) {
+	if r.queued || r.finished {
+		return
+	}
+	r.queued = true
+	c.runnable = append(c.runnable, r)
+}
+
+// Run executes program on every rank (as rank goroutines) and drives the
+// simulation until all ranks return. It returns an error on deadlock (no rank
+// can make progress and no simulation events remain). Run must not be called
+// concurrently with itself on the same engine.
+func (c *Comm) Run(program func(*Rank)) error {
+	for _, r := range c.ranks {
+		r.finished = false
+		r.queued = false
+	}
+	for _, r := range c.ranks {
+		r := r
+		go func() {
+			<-r.resume
+			program(r)
+			r.finished = true
+			c.notify <- r
+		}()
+		c.markRunnable(r)
+	}
+	remaining := len(c.ranks)
+	for remaining > 0 {
+		// Let every runnable rank run until it blocks or finishes.
+		for len(c.runnable) > 0 {
+			r := c.runnable[0]
+			c.runnable = c.runnable[1:]
+			r.queued = false
+			if r.finished {
+				continue
+			}
+			r.resume <- struct{}{}
+			<-c.notify
+			if r.finished {
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// No rank is runnable: advance simulated time until one becomes so.
+		eng := c.engine()
+		for eng.Pending() > 0 && len(c.runnable) == 0 {
+			stepped, err := eng.Step()
+			if err != nil {
+				return err
+			}
+			if !stepped {
+				break
+			}
+		}
+		if len(c.runnable) == 0 {
+			return fmt.Errorf("mpi: deadlock, %d ranks blocked with no pending events", remaining)
+		}
+	}
+	return nil
+}
+
+// deliver routes an arrived message to a waiting receive request or stores it
+// in the mailbox. It runs inside an engine event callback.
+func (c *Comm) deliver(srcRank, dstRank int, d network.Delivery) {
+	key := pairKey{srcRank, dstRank}
+	if reqs := c.waiting[key]; len(reqs) > 0 {
+		req := reqs[0]
+		c.waiting[key] = reqs[1:]
+		req.complete(&d)
+		return
+	}
+	dd := d
+	c.mailbox[key] = append(c.mailbox[key], &dd)
+}
+
+// matchRecv tries to match a posted receive against an already arrived
+// message; it returns true if the request completed immediately.
+func (c *Comm) matchRecv(req *Request) bool {
+	key := pairKey{req.peer, req.owner.rank}
+	if msgs := c.mailbox[key]; len(msgs) > 0 {
+		msg := msgs[0]
+		c.mailbox[key] = msgs[1:]
+		req.complete(msg)
+		return true
+	}
+	c.waiting[key] = append(c.waiting[key], req)
+	return false
+}

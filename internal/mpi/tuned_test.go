@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTuningValidates(t *testing.T) {
+	if err := DefaultTuning().Validate(); err != nil {
+		t.Fatalf("DefaultTuning is invalid: %v", err)
+	}
+}
+
+func TestTuningValidateRejectsInvertedThresholds(t *testing.T) {
+	tun := DefaultTuning()
+	tun.AllreduceRabenseifnerMaxBytes = tun.AllreduceDoublingMaxBytes - 1
+	if err := tun.Validate(); err == nil {
+		t.Fatal("expected error for inverted allreduce thresholds")
+	}
+	tun = DefaultTuning()
+	tun.AlltoallSpreadMaxBytes = tun.AlltoallBruckMaxBytes - 1
+	if err := tun.Validate(); err == nil {
+		t.Fatal("expected error for inverted alltoall thresholds")
+	}
+	tun = DefaultTuning()
+	tun.BroadcastTreeMaxBytes = -1
+	if err := tun.Validate(); err == nil {
+		t.Fatal("expected error for negative threshold")
+	}
+}
+
+func TestTuningAlgorithmSelection(t *testing.T) {
+	tun := DefaultTuning()
+	cases := []struct {
+		size                                      int64
+		bcast, allreduce, alltoall, allgatherWant string
+	}{
+		{64, "binomial-tree", "recursive-doubling", "bruck", "recursive-doubling"},
+		{8 << 10, "binomial-tree", "rabenseifner", "spread", "recursive-doubling"},
+		{1 << 20, "scatter-allgather", "ring", "pairwise", "ring"},
+	}
+	for _, c := range cases {
+		if got := tun.BroadcastAlgorithm(c.size); got != c.bcast {
+			t.Errorf("BroadcastAlgorithm(%d) = %q, want %q", c.size, got, c.bcast)
+		}
+		if got := tun.AllreduceAlgorithm(c.size); got != c.allreduce {
+			t.Errorf("AllreduceAlgorithm(%d) = %q, want %q", c.size, got, c.allreduce)
+		}
+		if got := tun.AlltoallAlgorithm(c.size); got != c.alltoall {
+			t.Errorf("AlltoallAlgorithm(%d) = %q, want %q", c.size, got, c.alltoall)
+		}
+		if got := tun.AllgatherAlgorithm(c.size); got != c.allgatherWant {
+			t.Errorf("AllgatherAlgorithm(%d) = %q, want %q", c.size, got, c.allgatherWant)
+		}
+	}
+}
+
+// TestTuningSelectionIsMonotonic checks that for any pair of sizes a <= b the
+// selected algorithm never moves "backwards" from a bandwidth-oriented choice
+// to a latency-oriented one.
+func TestTuningSelectionIsMonotonic(t *testing.T) {
+	tun := DefaultTuning()
+	rankAllreduce := map[string]int{"recursive-doubling": 0, "rabenseifner": 1, "ring": 2}
+	rankAlltoall := map[string]int{"bruck": 0, "spread": 1, "pairwise": 2}
+	prop := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		if rankAllreduce[tun.AllreduceAlgorithm(x)] > rankAllreduce[tun.AllreduceAlgorithm(y)] {
+			return false
+		}
+		if rankAlltoall[tun.AlltoallAlgorithm(x)] > rankAlltoall[tun.AlltoallAlgorithm(y)] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunedCollectivesComplete(t *testing.T) {
+	tun := DefaultTuning()
+	for _, size := range []int64{64, 8 << 10, 128 << 10} {
+		size := size
+		delta := runCollective(t, 4, 31, func(r *Rank) {
+			r.TunedBroadcast(tun, 0, size)
+			r.TunedAllreduce(tun, size)
+			r.TunedAlltoall(tun, size)
+			r.TunedAllgather(tun, size)
+		})
+		if delta.RequestPackets == 0 {
+			t.Fatalf("size=%d: tuned collectives generated no traffic", size)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package msglog
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/workloads"
+)
+
+// capture runs a workload on n ranks with a log attached and returns the log
+// and the fabric it was captured on.
+func capture(t *testing.T, w workloads.Workload, n int, seed int64) (*Log, *network.Fabric) {
+	t.Helper()
+	tt := topo.MustNew(topo.SmallConfig(3))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(seed)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	a := alloc.MustAllocate(tt, alloc.GroupStriped, n, nil, nil)
+	c := mpi.MustNewComm(fab, a, mpi.Config{})
+	log := NewLog()
+	log.Attach(fab)
+	if err := c.Run(w.Run); err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Rank(i).Err(); err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return log, fab
+}
+
+func TestLogCapturesAlltoall(t *testing.T) {
+	const n = 6
+	log, _ := capture(t, &workloads.Alltoall{MessageBytes: 1024, Iterations: 1}, n, 1)
+	// Pairwise alltoall: every ordered pair exchanges exactly one message.
+	want := n * (n - 1)
+	if log.Len() != want {
+		t.Fatalf("captured %d records, want %d", log.Len(), want)
+	}
+	if log.TotalBytes() != int64(want)*1024 {
+		t.Fatalf("captured %d bytes, want %d", log.TotalBytes(), int64(want)*1024)
+	}
+	for _, r := range log.Records() {
+		if r.Src == r.Dst {
+			t.Fatalf("self-message recorded: %+v", r)
+		}
+		if r.TransmissionCycles() <= 0 {
+			t.Fatalf("non-positive transmission time: %+v", r)
+		}
+		if r.MinimalFraction < 0 || r.MinimalFraction > 1 {
+			t.Fatalf("minimal fraction out of range: %+v", r)
+		}
+	}
+}
+
+func TestTrafficMatrixAndHistogram(t *testing.T) {
+	log, _ := capture(t, &workloads.Alltoall{MessageBytes: 2048, Iterations: 1}, 4, 2)
+	matrix := log.TrafficMatrix()
+	if len(matrix) != 4 {
+		t.Fatalf("traffic matrix has %d source rows, want 4", len(matrix))
+	}
+	for src, row := range matrix {
+		if len(row) != 3 {
+			t.Fatalf("source %d exchanged with %d peers, want 3", src, len(row))
+		}
+		for dst, bytes := range row {
+			if bytes != 2048 {
+				t.Fatalf("pair %d->%d carried %d bytes, want 2048", src, dst, bytes)
+			}
+		}
+	}
+	bounds, counts := log.SizeHistogram(64)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != log.Len() {
+		t.Fatalf("histogram counts sum to %d, want %d", total, log.Len())
+	}
+	if len(bounds) != len(counts) {
+		t.Fatalf("bounds/counts length mismatch: %d vs %d", len(bounds), len(counts))
+	}
+	if lats := log.Latencies(); len(lats) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+func TestMaxRecordsBound(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(2))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(3)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	log := &Log{MaxRecords: 5}
+	log.Attach(fab)
+	for i := 0; i < 20; i++ {
+		if err := fab.Send(0, 4, 256, network.SendOptions{Mode: routing.Adaptive}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 5 {
+		t.Fatalf("stored %d records, want 5", log.Len())
+	}
+	if log.Dropped() != 15 {
+		t.Fatalf("dropped %d records, want 15", log.Dropped())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	log, _ := capture(t, &workloads.PingPong{MessageBytes: 4096, Iterations: 3}, 2, 4)
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != log.Len() {
+		t.Fatalf("round trip produced %d records, want %d", len(records), log.Len())
+	}
+	for i, r := range records {
+		if r != log.Records()[i] {
+			t.Fatalf("record %d changed in round trip: %+v vs %+v", i, r, log.Records()[i])
+		}
+	}
+}
+
+func TestSaveLoadJSONLFile(t *testing.T) {
+	log, _ := capture(t, &workloads.Alltoall{MessageBytes: 512, Iterations: 1}, 4, 5)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := log.SaveJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	records, err := LoadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != log.Len() {
+		t.Fatalf("loaded %d records, want %d", len(records), log.Len())
+	}
+	if _, err := LoadJSONL(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString("{not json}\n")); err == nil {
+		t.Fatal("expected error for malformed line")
+	}
+}
+
+func TestReplayReproducesTraffic(t *testing.T) {
+	log, _ := capture(t, &workloads.Alltoall{MessageBytes: 1024, Iterations: 1}, 6, 6)
+
+	// Replay the captured trace onto a fresh fabric under a different routing
+	// mode and capture it again.
+	tt := topo.MustNew(topo.SmallConfig(3))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(7)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	replayLog := NewLog()
+	replayLog.Attach(fab)
+	scheduled, err := Replay(fab, log.Records(), ReplayOptions{Mode: routing.AdaptiveHighBias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled != log.Len() {
+		t.Fatalf("scheduled %d messages, want %d", scheduled, log.Len())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replayLog.Len() != log.Len() {
+		t.Fatalf("replay delivered %d messages, want %d", replayLog.Len(), log.Len())
+	}
+	if replayLog.TotalBytes() != log.TotalBytes() {
+		t.Fatalf("replay moved %d bytes, original %d", replayLog.TotalBytes(), log.TotalBytes())
+	}
+}
+
+func TestReplayWithNodeMapAndScale(t *testing.T) {
+	log, _ := capture(t, &workloads.PingPong{MessageBytes: 2048, Iterations: 2}, 2, 8)
+	tt := topo.MustNew(topo.SmallConfig(2))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(9)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+
+	// Map the original endpoints onto two specific nodes of the new machine.
+	nodeMap := make(map[topo.NodeID]topo.NodeID)
+	for _, r := range log.Records() {
+		nodeMap[r.Src] = topo.NodeID(int(r.Src) % tt.NumNodes())
+		nodeMap[r.Dst] = topo.NodeID(int(r.Dst) % tt.NumNodes())
+	}
+	replayLog := NewLog()
+	replayLog.Attach(fab)
+	if _, err := Replay(fab, log.Records(), ReplayOptions{Mode: routing.MinHash, TimeScale: 0.5, NodeMap: nodeMap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replayLog.Len() != log.Len() {
+		t.Fatalf("replay delivered %d messages, want %d", replayLog.Len(), log.Len())
+	}
+}
+
+func TestReplayRejectsOutOfRangeEndpoints(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(2))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(10)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	records := []Record{{Src: 0, Dst: topo.NodeID(tt.NumNodes() + 5), Size: 64}}
+	if _, err := Replay(fab, records, ReplayOptions{}); err == nil {
+		t.Fatal("expected error for out-of-range endpoint")
+	}
+}
+
+func TestReplayEmptyTraceIsNoop(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(2))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(11)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	n, err := Replay(fab, nil, ReplayOptions{})
+	if err != nil || n != 0 {
+		t.Fatalf("empty replay returned (%d, %v)", n, err)
+	}
+}
+
+func TestObserverSeesAppAwareTraffic(t *testing.T) {
+	// The observer must also see traffic routed through the application-aware
+	// selector (the per-message hook and the observer are independent).
+	tt := topo.MustNew(topo.SmallConfig(3))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(12)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	a := alloc.MustAllocate(tt, alloc.GroupStriped, 4, nil, nil)
+	c := mpi.MustNewComm(fab, a, mpi.Config{
+		Routing: func(int) mpi.RoutingProvider {
+			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
+		},
+	})
+	log := NewLog()
+	log.Attach(fab)
+	if err := c.Run(func(r *mpi.Rank) { r.Alltoall(8192) }); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("observer saw no traffic from the application-aware communicator")
+	}
+	log.Detach(fab)
+}

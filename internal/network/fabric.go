@@ -1,0 +1,469 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dragonfly/internal/counters"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+)
+
+// SendOptions control how one message is transferred.
+type SendOptions struct {
+	// Mode is the routing mode applied to every packet of the message.
+	Mode routing.Mode
+	// Verb is the RDMA operation used (Put by default).
+	Verb Verb
+	// Tag is an opaque value copied to the Delivery; the message layer uses it
+	// for matching.
+	Tag uint64
+}
+
+// Delivery describes the completion of one message transfer.
+type Delivery struct {
+	// Src and Dst are the endpoints of the transfer.
+	Src, Dst topo.NodeID
+	// Size is the message size in bytes.
+	Size int64
+	// Tag echoes SendOptions.Tag.
+	Tag uint64
+	// SendStart is when the message was posted at the source NIC.
+	SendStart sim.Time
+	// SenderDone is when the last request packet left the source NIC.
+	SenderDone sim.Time
+	// DeliveredAt is when the last request packet reached the destination NIC.
+	DeliveredAt sim.Time
+	// LastResponseAt is when the last response flit returned to the source NIC.
+	LastResponseAt sim.Time
+	// Counters holds the NIC counter deltas attributable to this message.
+	Counters counters.NIC
+}
+
+// TransmissionCycles returns the paper's T_msg for this delivery: the time
+// between the reception of the send by the source NIC and the delivery of the
+// last flit to the destination NIC.
+func (d Delivery) TransmissionCycles() int64 { return d.DeliveredAt - d.SendStart }
+
+// sendOp is an in-flight message on a NIC's injection queue.
+type sendOp struct {
+	src, dst topo.NodeID
+	size     int64
+	opts     SendOptions
+	done     func(Delivery)
+
+	packetsLeft  int64
+	packetsTotal int64
+	start        sim.Time
+	senderDone   sim.Time
+	deliveredAt  sim.Time
+	lastResponse sim.Time
+	delta        counters.NIC
+}
+
+// linkState is the dynamic state of one directed link.
+type linkState struct {
+	// freeAt is the time the link finishes serializing the last accepted packet.
+	freeAt sim.Time
+	// prevFreeAt and lastChange implement the stale congestion view: until
+	// CreditDelay cycles have elapsed since lastChange, the routing pipeline
+	// still observes prevFreeAt.
+	prevFreeAt sim.Time
+	lastChange sim.Time
+
+	cyclesPerFlitNum int64 // serialization = flits * num / den
+	cyclesPerFlitDen int64
+	propagation      int64
+	bufferCycles     int64 // input buffer capacity expressed in cycles
+
+	tile counters.Tile
+}
+
+func (ls *linkState) serialization(flits int) int64 {
+	v := int64(flits) * ls.cyclesPerFlitNum
+	v = (v + ls.cyclesPerFlitDen - 1) / ls.cyclesPerFlitDen
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (ls *linkState) advance(now, newFreeAt sim.Time) {
+	ls.prevFreeAt = ls.freeAt
+	ls.lastChange = now
+	ls.freeAt = newFreeAt
+}
+
+// nicState is the dynamic state of one NIC.
+type nicState struct {
+	counters counters.NIC
+
+	// readyAt is when the NIC can start injecting the next packet.
+	readyAt sim.Time
+	// window is a ring buffer of the response times of the last
+	// MaxOutstandingPackets packets, used to enforce the outstanding limit.
+	window    []sim.Time
+	windowIdx int
+	windowLen int
+
+	queue     []*sendOp
+	injecting bool
+}
+
+// Fabric simulates the Dragonfly interconnect. It is not safe for concurrent
+// use; all access must happen from the simulation goroutine (event callbacks).
+type Fabric struct {
+	engine *sim.Engine
+	topo   *topo.Topology
+	policy *routing.Policy
+	cfg    Config
+
+	links []linkState
+	nics  []nicState
+	rng   *rand.Rand
+
+	packetsInjected uint64
+	onDelivery      func(Delivery)
+}
+
+// New builds a fabric over the given topology, routing policy and engine.
+func New(engine *sim.Engine, t *topo.Topology, policy *routing.Policy, cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		engine: engine,
+		topo:   t,
+		policy: policy,
+		cfg:    cfg,
+		links:  make([]linkState, t.NumLinks()),
+		nics:   make([]nicState, t.NumNodes()),
+		rng:    rand.New(rand.NewSource(engine.Seed() ^ 0x5f3759df)),
+	}
+	for i, l := range t.Links() {
+		ls := &f.links[i]
+		ls.cyclesPerFlitNum = cfg.CyclesPerFlit
+		ls.cyclesPerFlitDen = int64(l.Width)
+		if ls.cyclesPerFlitDen < 1 {
+			ls.cyclesPerFlitDen = 1
+		}
+		ls.propagation = cfg.propagationFor(l.Type)
+		ls.bufferCycles = ls.serialization(cfg.BufferFlits)
+	}
+	for i := range f.nics {
+		f.nics[i].window = make([]sim.Time, cfg.MaxOutstandingPackets)
+	}
+	return f, nil
+}
+
+// MustNew is like New but panics on configuration errors.
+func MustNew(engine *sim.Engine, t *topo.Topology, policy *routing.Policy, cfg Config) *Fabric {
+	f, err := New(engine, t, policy, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Engine returns the simulation engine driving the fabric.
+func (f *Fabric) Engine() *sim.Engine { return f.engine }
+
+// Topology returns the topology the fabric runs on.
+func (f *Fabric) Topology() *topo.Topology { return f.topo }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Policy returns the routing policy.
+func (f *Fabric) Policy() *routing.Policy { return f.policy }
+
+// PacketsInjected reports the total number of request packets injected so far.
+func (f *Fabric) PacketsInjected() uint64 { return f.packetsInjected }
+
+// SetDeliveryObserver installs a callback invoked for every completed message
+// transfer on the fabric (including same-node loopback transfers and traffic
+// from background generators), at the delivery's simulated time. Passing nil
+// removes the observer. It is used by the message-log substrate to capture
+// fabric-wide communication traces.
+func (f *Fabric) SetDeliveryObserver(fn func(Delivery)) { f.onDelivery = fn }
+
+// NodeCounters returns the cumulative NIC counters of a node.
+func (f *Fabric) NodeCounters(n topo.NodeID) counters.NIC {
+	return f.nics[n].counters
+}
+
+// TileCounters returns the cumulative tile counters of a link.
+func (f *Fabric) TileCounters(id topo.LinkID) counters.Tile {
+	return f.links[id].tile
+}
+
+// IncomingFlits sums the flits forwarded by all links terminating at any of
+// the given routers. It reproduces the "incoming flits" observation an
+// application makes from its allocated routers' tile counters (Table 1).
+func (f *Fabric) IncomingFlits(routers map[topo.RouterID]bool) (flits, stalled uint64) {
+	for _, l := range f.topo.Links() {
+		if routers[l.Dst] {
+			flits += f.links[l.ID].tile.FlitsTraversed
+			stalled += f.links[l.ID].tile.StalledCycles
+		}
+	}
+	return flits, stalled
+}
+
+// --- routing.CongestionView implementation -------------------------------
+
+// QueueCycles implements routing.CongestionView with a stale (credit-delayed)
+// view of the link backlog.
+func (f *Fabric) QueueCycles(id topo.LinkID, now int64) int64 {
+	ls := &f.links[id]
+	freeAt := ls.freeAt
+	if now-ls.lastChange < f.cfg.CreditDelay {
+		freeAt = ls.prevFreeAt
+	}
+	backlog := freeAt - now
+	if backlog < 0 {
+		return 0
+	}
+	return backlog
+}
+
+// PropagationCycles implements routing.CongestionView.
+func (f *Fabric) PropagationCycles(id topo.LinkID) int64 { return f.links[id].propagation }
+
+// SerializationCycles implements routing.CongestionView.
+func (f *Fabric) SerializationCycles(id topo.LinkID, flits int) int64 {
+	return f.links[id].serialization(flits)
+}
+
+var _ routing.CongestionView = (*Fabric)(nil)
+
+// --- message transfer ------------------------------------------------------
+
+// Send posts a message transfer from src to dst. The done callback (optional)
+// is invoked, in simulated time, when the last request packet has been
+// delivered to the destination NIC. Send must be called from the simulation
+// goroutine (i.e. inside an event or before Run).
+func (f *Fabric) Send(src, dst topo.NodeID, size int64, opts SendOptions, done func(Delivery)) error {
+	if int(src) < 0 || int(src) >= len(f.nics) || int(dst) < 0 || int(dst) >= len(f.nics) {
+		return fmt.Errorf("network: invalid endpoints %d -> %d", src, dst)
+	}
+	if size < 0 {
+		return fmt.Errorf("network: negative message size %d", size)
+	}
+	now := f.engine.Now()
+	if src == dst {
+		// On-node transfer: no NIC involvement, modelled as a memory copy.
+		delay := f.cfg.LoopbackBaseCycles + int64(float64(size)*f.cfg.LoopbackCyclesPerByte)
+		d := Delivery{
+			Src: src, Dst: dst, Size: size, Tag: opts.Tag,
+			SendStart: now, SenderDone: now + delay, DeliveredAt: now + delay,
+			LastResponseAt: now + delay,
+		}
+		if done != nil || f.onDelivery != nil {
+			f.engine.Schedule(d.DeliveredAt, func() {
+				if f.onDelivery != nil {
+					f.onDelivery(d)
+				}
+				if done != nil {
+					done(d)
+				}
+			})
+		}
+		return nil
+	}
+	op := &sendOp{
+		src: src, dst: dst, size: size, opts: opts, done: done,
+		packetsTotal: f.cfg.PacketsForSize(size),
+		start:        now,
+	}
+	op.packetsLeft = op.packetsTotal
+	nic := &f.nics[src]
+	nic.queue = append(nic.queue, op)
+	if !nic.injecting {
+		nic.injecting = true
+		if nic.readyAt < now {
+			nic.readyAt = now
+		}
+		f.engine.Schedule(nic.readyAt, func() { f.inject(src) })
+	}
+	return nil
+}
+
+// windowConstraint returns the earliest time the NIC may inject the next
+// packet given the outstanding-packet window, and records resp as the response
+// time of the packet about to be injected.
+func (n *nicState) windowConstraint() sim.Time {
+	if n.windowLen < len(n.window) {
+		return 0
+	}
+	// The oldest outstanding packet's response bounds the next injection.
+	return n.window[n.windowIdx]
+}
+
+func (n *nicState) recordResponse(resp sim.Time) {
+	n.window[n.windowIdx] = resp
+	n.windowIdx = (n.windowIdx + 1) % len(n.window)
+	if n.windowLen < len(n.window) {
+		n.windowLen++
+	}
+}
+
+// inject processes one chunk of packets from the head of the NIC's queue and
+// reschedules itself until the queue drains.
+func (f *Fabric) inject(src topo.NodeID) {
+	nic := &f.nics[src]
+	if len(nic.queue) == 0 {
+		nic.injecting = false
+		return
+	}
+	op := nic.queue[0]
+	now := f.engine.Now()
+	if nic.readyAt < now {
+		nic.readyAt = now
+	}
+
+	chunkPackets := int64(f.cfg.PacketsPerChunk)
+	if chunkPackets > op.packetsLeft {
+		chunkPackets = op.packetsLeft
+	}
+	flitsPerPacket := f.cfg.RequestFlitsPerPacket(op.opts.Verb)
+	chunkFlits := int(chunkPackets) * flitsPerPacket
+
+	// Window constraint: the oldest outstanding packet must have been
+	// acknowledged before a new one can enter the request window.
+	ready := nic.readyAt
+	if w := nic.windowConstraint(); w > ready {
+		ready = w
+	}
+
+	srcRouter := f.topo.RouterOfNode(op.src)
+	dstRouter := f.topo.RouterOfNode(op.dst)
+
+	// Per-packet (per-chunk) adaptive routing decision.
+	hash := uint64(op.src)<<40 ^ uint64(op.dst)<<16 ^ f.packetsInjected
+	dec := f.policy.Route(op.opts.Mode, srcRouter, dstRouter, flitsPerPacket, hash, f, ready, f.rng)
+
+	// Traverse the selected path, accumulating per-link waits.
+	injStart := ready
+	var arrival sim.Time
+	if len(dec.Path) == 0 {
+		// Same router: deliver through the processor tiles only.
+		injStart = ready
+		arrival = injStart + int64(chunkFlits)*f.cfg.CyclesPerFlit + 2*f.cfg.ProcessorDelay
+	} else {
+		first := &f.links[dec.Path[0]]
+		injStart = maxTime(ready, first.freeAt)
+		// Credit back-pressure from the second hop propagates to the NIC when
+		// the downstream buffer cannot absorb the packet.
+		if len(dec.Path) > 1 {
+			second := &f.links[dec.Path[1]]
+			if t := second.freeAt - second.bufferCycles; t > injStart {
+				injStart = t
+			}
+		}
+		t := injStart
+		for i, id := range dec.Path {
+			ls := &f.links[id]
+			start := maxTime(t, ls.freeAt)
+			if i+1 < len(dec.Path) {
+				next := &f.links[dec.Path[i+1]]
+				if bp := next.freeAt - next.bufferCycles; bp > start {
+					start = bp
+				}
+			}
+			ser := ls.serialization(chunkFlits)
+			ls.tile.FlitsTraversed += uint64(chunkFlits)
+			ls.tile.BusyCycles += uint64(ser)
+			if wait := start - t; wait > 0 {
+				ls.tile.StalledCycles += uint64(wait)
+			}
+			ls.advance(start, start+ser)
+			t = start + ser + ls.propagation
+		}
+		arrival = t + 2*f.cfg.ProcessorDelay
+	}
+
+	// Response traversal over the reverse path.
+	respFlits := f.cfg.ResponseFlits * int(chunkPackets)
+	respArrival := arrival
+	for i := len(dec.Path) - 1; i >= 0; i-- {
+		l := f.topo.Link(dec.Path[i])
+		revID := f.topo.LinkBetween(l.Dst, l.Src)
+		if revID == topo.InvalidLink {
+			continue
+		}
+		ls := &f.links[revID]
+		start := maxTime(respArrival, ls.freeAt)
+		ser := ls.serialization(respFlits)
+		ls.tile.FlitsTraversed += uint64(respFlits)
+		ls.tile.BusyCycles += uint64(ser)
+		ls.advance(start, start+ser)
+		respArrival = start + ser + ls.propagation
+	}
+	respArrival += f.cfg.ProcessorDelay
+
+	// NIC accounting for this chunk.
+	stall := injStart - ready
+	serNIC := int64(chunkFlits) * f.cfg.CyclesPerFlit // NIC pushes one flit per CyclesPerFlit
+	nic.readyAt = injStart + serNIC
+	nic.recordResponse(respArrival)
+	f.packetsInjected += uint64(chunkPackets)
+
+	latency := respArrival - injStart
+	delta := counters.NIC{
+		RequestFlits:              uint64(chunkFlits),
+		RequestFlitsStalledCycles: uint64(stall),
+		RequestPackets:            uint64(chunkPackets),
+		RequestPacketsCumLatency:  uint64(latency) * uint64(chunkPackets),
+	}
+	if dec.Minimal {
+		delta.MinimalPackets = uint64(chunkPackets)
+	} else {
+		delta.NonMinimalPackets = uint64(chunkPackets)
+	}
+	nic.counters.Add(delta)
+	op.delta.Add(delta)
+
+	op.packetsLeft -= chunkPackets
+	if arrival > op.deliveredAt {
+		op.deliveredAt = arrival
+	}
+	if respArrival > op.lastResponse {
+		op.lastResponse = respArrival
+	}
+
+	if op.packetsLeft <= 0 {
+		op.senderDone = nic.readyAt
+		nic.queue = nic.queue[1:]
+		d := Delivery{
+			Src: op.src, Dst: op.dst, Size: op.size, Tag: op.opts.Tag,
+			SendStart: op.start, SenderDone: op.senderDone,
+			DeliveredAt: op.deliveredAt, LastResponseAt: op.lastResponse,
+			Counters: op.delta,
+		}
+		if op.done != nil || f.onDelivery != nil {
+			f.engine.Schedule(d.DeliveredAt, func() {
+				if f.onDelivery != nil {
+					f.onDelivery(d)
+				}
+				if op.done != nil {
+					op.done(d)
+				}
+			})
+		}
+	}
+
+	if len(nic.queue) == 0 {
+		nic.injecting = false
+		return
+	}
+	f.engine.Schedule(nic.readyAt, func() { f.inject(src) })
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

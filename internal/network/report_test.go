@@ -1,0 +1,82 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topo"
+)
+
+func TestReportEmptyFabric(t *testing.T) {
+	f, _, _ := testFabric(t, 2, 21)
+	rep := f.Report(5)
+	if rep.WindowCycles != 0 {
+		t.Fatalf("window = %d, want 0 before any event", rep.WindowCycles)
+	}
+	for _, tier := range rep.Tiers {
+		if tier.Flits != 0 || tier.MeanUtilization != 0 {
+			t.Fatalf("empty fabric reports traffic: %+v", tier)
+		}
+	}
+	if len(rep.Hottest) != 5 {
+		t.Fatalf("expected 5 hottest entries even when idle, got %d", len(rep.Hottest))
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report must still render")
+	}
+}
+
+func TestReportAfterTraffic(t *testing.T) {
+	f, tt, eng := testFabric(t, 2, 22)
+	src := nodeAt(tt, 0, 0, 0, 0)
+	dst := nodeAt(tt, 1, 1, 2, 0)
+	if err := f.Send(src, dst, 1<<16, SendOptions{Mode: routing.Adaptive}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Report(3)
+	if rep.WindowCycles == 0 {
+		t.Fatal("window must be positive after traffic")
+	}
+	var totalFlits uint64
+	sawGlobal := false
+	for _, tier := range rep.Tiers {
+		totalFlits += tier.Flits
+		if tier.Type == topo.LinkGlobal && tier.Flits > 0 {
+			sawGlobal = true
+		}
+		if tier.MeanUtilization < 0 || tier.MeanUtilization > 1 || tier.MaxUtilization > 1 {
+			t.Fatalf("utilization out of range: %+v", tier)
+		}
+		if tier.MaxUtilization < tier.MeanUtilization {
+			t.Fatalf("max < mean utilization: %+v", tier)
+		}
+	}
+	if totalFlits == 0 {
+		t.Fatal("no flits recorded in any tier")
+	}
+	if !sawGlobal {
+		t.Fatal("inter-group transfer did not touch a global link")
+	}
+	if len(rep.Hottest) != 3 {
+		t.Fatalf("expected 3 hottest links, got %d", len(rep.Hottest))
+	}
+	for i := 1; i < len(rep.Hottest); i++ {
+		if rep.Hottest[i].Utilization > rep.Hottest[i-1].Utilization {
+			t.Fatal("hottest links not sorted by utilization")
+		}
+	}
+	if rep.Hottest[0].Tile.FlitsTraversed == 0 {
+		t.Fatal("hottest link carried no flits")
+	}
+	if !strings.Contains(rep.String(), "hot[0]") {
+		t.Fatalf("rendered report missing hottest entries:\n%s", rep.String())
+	}
+	// topN = 0 disables the hottest list.
+	if len(f.Report(0).Hottest) != 0 {
+		t.Fatal("topN=0 must disable the hottest list")
+	}
+}

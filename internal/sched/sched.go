@@ -1,0 +1,552 @@
+// Package sched provides a batch-scheduler substrate for multi-job
+// interference studies. The paper (§1, §6, §7) discusses job allocation as the
+// main alternative to routing-based noise mitigation: contiguous allocations
+// localize traffic but fragment the machine, random allocations balance load
+// but expose every job to every other job's traffic, and hybrid policies
+// (communication-intensive jobs scattered, others packed) try to combine both.
+// On a Dragonfly none of them can fully isolate a job, because non-minimal
+// adaptive routing sends packets through groups owned by other jobs.
+//
+// The scheduler places jobs on the simulated fabric, represents each running
+// job's traffic with a background generator, and records per-job wait times,
+// placement fragmentation and machine utilization, so experiments can compare
+// allocation policies against (and combined with) the routing-based mitigation
+// the paper proposes.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/network"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+)
+
+// AllocationPolicy selects how the scheduler places the nodes of a job.
+type AllocationPolicy uint8
+
+const (
+	// PlaceContiguous packs every job onto the lowest-numbered free nodes.
+	PlaceContiguous AllocationPolicy = iota
+	// PlaceRandom scatters every job uniformly over the free nodes.
+	PlaceRandom
+	// PlaceGroupStriped stripes every job round-robin over the groups.
+	PlaceGroupStriped
+	// PlaceHybrid scatters communication-intensive jobs and packs the rest,
+	// the policy proposed by the interference literature the paper discusses.
+	PlaceHybrid
+)
+
+// String returns the policy name.
+func (p AllocationPolicy) String() string {
+	switch p {
+	case PlaceContiguous:
+		return "contiguous"
+	case PlaceRandom:
+		return "random"
+	case PlaceGroupStriped:
+		return "group-striped"
+	case PlaceHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("AllocationPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseAllocationPolicy converts a policy name to an AllocationPolicy.
+func ParseAllocationPolicy(s string) (AllocationPolicy, error) {
+	switch s {
+	case "contiguous":
+		return PlaceContiguous, nil
+	case "random":
+		return PlaceRandom, nil
+	case "group-striped", "striped":
+		return PlaceGroupStriped, nil
+	case "hybrid":
+		return PlaceHybrid, nil
+	default:
+		return PlaceContiguous, fmt.Errorf("sched: unknown allocation policy %q", s)
+	}
+}
+
+// JobSpec describes one batch job submitted to the scheduler.
+type JobSpec struct {
+	// Name identifies the job in records and logs.
+	Name string
+	// Nodes is the number of nodes the job needs.
+	Nodes int
+	// ArrivalCycles is the submission time relative to Scheduler.Start.
+	ArrivalCycles sim.Time
+	// DurationCycles is the job's run time once started.
+	DurationCycles sim.Time
+	// CommIntensive marks the job as communication intensive; the hybrid
+	// placement policy scatters such jobs and packs the others.
+	CommIntensive bool
+	// Traffic describes the background traffic the job generates while it
+	// runs. MessageBytes == 0 disables traffic generation (a "compute only"
+	// job that still occupies nodes).
+	Traffic TrafficSpec
+}
+
+// TrafficSpec shapes the traffic a running job injects into the fabric.
+type TrafficSpec struct {
+	// Pattern is the communication pattern (uniform, hotspot, bully, burst).
+	Pattern noise.Pattern
+	// MessageBytes is the size of each message; 0 disables traffic.
+	MessageBytes int64
+	// IntervalCycles is the mean gap between messages per node.
+	IntervalCycles int64
+	// Mode is the routing mode the job's traffic uses.
+	Mode routing.Mode
+}
+
+// Validate reports whether the job spec is usable on a machine of the given
+// size.
+func (j JobSpec) Validate(machineNodes int) error {
+	switch {
+	case j.Nodes <= 0:
+		return fmt.Errorf("sched: job %q requests %d nodes", j.Name, j.Nodes)
+	case j.Nodes > machineNodes:
+		return fmt.Errorf("sched: job %q requests %d nodes but the machine has %d", j.Name, j.Nodes, machineNodes)
+	case j.ArrivalCycles < 0:
+		return fmt.Errorf("sched: job %q has negative arrival time", j.Name)
+	case j.DurationCycles <= 0:
+		return fmt.Errorf("sched: job %q has non-positive duration", j.Name)
+	case j.Traffic.MessageBytes > 0 && j.Traffic.IntervalCycles <= 0:
+		return fmt.Errorf("sched: job %q generates traffic but has no interval", j.Name)
+	}
+	return nil
+}
+
+// JobState tracks a job through its lifetime.
+type JobState uint8
+
+const (
+	// Queued means the job has been submitted but not yet started.
+	Queued JobState = iota
+	// Running means the job currently holds nodes.
+	Running
+	// Finished means the job completed and released its nodes.
+	Finished
+)
+
+// String returns the state name.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("JobState(%d)", uint8(s))
+	}
+}
+
+// JobRecord is the scheduler's bookkeeping for one job.
+type JobRecord struct {
+	// ID is the submission order, starting at 0.
+	ID int
+	// Spec is the submitted job description.
+	Spec JobSpec
+	// State is the job's current lifecycle state.
+	State JobState
+	// SubmittedAt, StartedAt and FinishedAt are absolute simulated times;
+	// StartedAt and FinishedAt are meaningful only after the respective
+	// transitions.
+	SubmittedAt sim.Time
+	StartedAt   sim.Time
+	FinishedAt  sim.Time
+	// Allocation is the node set assigned to the job (nil while queued).
+	Allocation *alloc.Allocation
+	// RoutersSpanned and GroupsSpanned record the placement fragmentation.
+	RoutersSpanned int
+	GroupsSpanned  int
+	// MessagesSent is the traffic the job injected while running.
+	MessagesSent uint64
+
+	generator *noise.Generator
+}
+
+// WaitCycles returns how long the job waited in the queue (0 while queued).
+func (r *JobRecord) WaitCycles() sim.Time {
+	if r.State == Queued {
+		return 0
+	}
+	return r.StartedAt - r.SubmittedAt
+}
+
+// Config configures the scheduler.
+type Config struct {
+	// Placement is the allocation policy applied to every job.
+	Placement AllocationPolicy
+	// Backfill lets a queued job start ahead of the queue head when it fits in
+	// the currently free nodes and would finish before the head job could
+	// start anyway (conservative EASY-style backfilling based on the known
+	// durations of running jobs).
+	Backfill bool
+	// Seed seeds the placement random stream.
+	Seed int64
+}
+
+// DefaultConfig returns a contiguous, non-backfilling scheduler.
+func DefaultConfig() Config {
+	return Config{Placement: PlaceContiguous, Seed: 1}
+}
+
+// Scheduler places jobs on the fabric's nodes and drives their lifecycle with
+// simulation events. It is not safe for concurrent use; all methods must be
+// called from the simulation goroutine.
+type Scheduler struct {
+	fabric *network.Fabric
+	topo   *topo.Topology
+	cfg    Config
+	rng    *rand.Rand
+
+	jobs    []*JobRecord
+	queue   []*JobRecord
+	running map[int]*JobRecord
+	busy    map[topo.NodeID]bool
+	started bool
+
+	// reserved is the set of nodes excluded from scheduling (e.g. nodes used
+	// by a measured foreground job).
+	reserved map[topo.NodeID]bool
+
+	busyNodeCycles uint64
+	lastAccounting sim.Time
+}
+
+// New builds a scheduler over the fabric's machine.
+func New(f *network.Fabric, cfg Config) *Scheduler {
+	return &Scheduler{
+		fabric:   f,
+		topo:     f.Topology(),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		running:  make(map[int]*JobRecord),
+		busy:     make(map[topo.NodeID]bool),
+		reserved: make(map[topo.NodeID]bool),
+	}
+}
+
+// Reserve excludes the given nodes from scheduling. It is used to protect the
+// allocation of a measured foreground job from being handed to batch jobs.
+func (s *Scheduler) Reserve(nodes []topo.NodeID) {
+	for _, n := range nodes {
+		s.reserved[n] = true
+	}
+}
+
+// Jobs returns all job records in submission order. The caller must not modify
+// the slice.
+func (s *Scheduler) Jobs() []*JobRecord { return s.jobs }
+
+// QueueLength returns the number of jobs currently waiting.
+func (s *Scheduler) QueueLength() int { return len(s.queue) }
+
+// RunningJobs returns the number of jobs currently holding nodes.
+func (s *Scheduler) RunningJobs() int { return len(s.running) }
+
+// FreeNodes returns the number of nodes that are neither busy nor reserved.
+func (s *Scheduler) FreeNodes() int {
+	return s.topo.NumNodes() - len(s.busy) - s.countReservedFree()
+}
+
+// countReservedFree counts reserved nodes that are not also busy.
+func (s *Scheduler) countReservedFree() int {
+	n := 0
+	for node := range s.reserved {
+		if !s.busy[node] {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit registers a job. Jobs submitted before Start are scheduled at their
+// arrival time; jobs submitted after Start are scheduled relative to the
+// current time.
+func (s *Scheduler) Submit(spec JobSpec) (*JobRecord, error) {
+	if err := spec.Validate(s.topo.NumNodes() - len(s.reserved)); err != nil {
+		return nil, err
+	}
+	rec := &JobRecord{ID: len(s.jobs), Spec: spec, State: Queued}
+	s.jobs = append(s.jobs, rec)
+	if s.started {
+		s.scheduleArrival(rec)
+	}
+	return rec, nil
+}
+
+// MustSubmit is like Submit but panics on error.
+func (s *Scheduler) MustSubmit(spec JobSpec) *JobRecord {
+	rec, err := s.Submit(spec)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
+// Start schedules the arrival events of every submitted job. It must be called
+// once, before or during the simulation run.
+func (s *Scheduler) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.lastAccounting = s.fabric.Engine().Now()
+	for _, rec := range s.jobs {
+		s.scheduleArrival(rec)
+	}
+}
+
+// scheduleArrival schedules the enqueue event of one job.
+func (s *Scheduler) scheduleArrival(rec *JobRecord) {
+	eng := s.fabric.Engine()
+	eng.Schedule(eng.Now()+rec.Spec.ArrivalCycles, func() {
+		rec.SubmittedAt = eng.Now()
+		s.queue = append(s.queue, rec)
+		s.trySchedule()
+	})
+}
+
+// accountUtilization integrates busy node-cycles up to the current time.
+func (s *Scheduler) accountUtilization() {
+	now := s.fabric.Engine().Now()
+	if now > s.lastAccounting {
+		s.busyNodeCycles += uint64(now-s.lastAccounting) * uint64(len(s.busy))
+		s.lastAccounting = now
+	}
+}
+
+// allocPolicyFor maps the scheduler placement policy to an alloc.Policy for
+// one specific job.
+func (s *Scheduler) allocPolicyFor(spec JobSpec) alloc.Policy {
+	switch s.cfg.Placement {
+	case PlaceRandom:
+		return alloc.RandomScatter
+	case PlaceGroupStriped:
+		return alloc.GroupStriped
+	case PlaceHybrid:
+		if spec.CommIntensive {
+			return alloc.RandomScatter
+		}
+		return alloc.Contiguous
+	default:
+		return alloc.Contiguous
+	}
+}
+
+// exclusionSet returns the nodes a new job may not use.
+func (s *Scheduler) exclusionSet() map[topo.NodeID]bool {
+	out := make(map[topo.NodeID]bool, len(s.busy)+len(s.reserved))
+	for n := range s.busy {
+		out[n] = true
+	}
+	for n := range s.reserved {
+		out[n] = true
+	}
+	return out
+}
+
+// earliestCompletion returns the earliest finish time among running jobs, or
+// the current time when nothing is running.
+func (s *Scheduler) earliestCompletion() sim.Time {
+	now := s.fabric.Engine().Now()
+	earliest := sim.Time(-1)
+	for _, rec := range s.running {
+		end := rec.StartedAt + rec.Spec.DurationCycles
+		if earliest < 0 || end < earliest {
+			earliest = end
+		}
+	}
+	if earliest < 0 {
+		return now
+	}
+	return earliest
+}
+
+// trySchedule starts as many queued jobs as the free nodes and the scheduling
+// discipline allow.
+func (s *Scheduler) trySchedule() {
+	progressed := true
+	for progressed {
+		progressed = false
+		if len(s.queue) == 0 {
+			return
+		}
+		head := s.queue[0]
+		if head.Spec.Nodes <= s.FreeNodes() {
+			s.queue = s.queue[1:]
+			s.startJob(head)
+			progressed = true
+			continue
+		}
+		if !s.cfg.Backfill {
+			return
+		}
+		// Conservative backfill: a later job may start now if it fits and is
+		// guaranteed to finish before the head job could possibly start (the
+		// earliest completion of any running job).
+		now := s.fabric.Engine().Now()
+		shadow := s.earliestCompletion()
+		for i := 1; i < len(s.queue); i++ {
+			cand := s.queue[i]
+			if cand.Spec.Nodes > s.FreeNodes() {
+				continue
+			}
+			if now+cand.Spec.DurationCycles > shadow {
+				continue
+			}
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.startJob(cand)
+			progressed = true
+			break
+		}
+	}
+}
+
+// startJob allocates nodes, starts the job's traffic generator and schedules
+// its completion.
+func (s *Scheduler) startJob(rec *JobRecord) {
+	s.accountUtilization()
+	eng := s.fabric.Engine()
+	a, err := alloc.Allocate(s.topo, s.allocPolicyFor(rec.Spec), rec.Spec.Nodes, s.rng, s.exclusionSet())
+	if err != nil {
+		// Should not happen (FreeNodes was checked), but requeue defensively.
+		s.queue = append([]*JobRecord{rec}, s.queue...)
+		return
+	}
+	rec.Allocation = a
+	rec.State = Running
+	rec.StartedAt = eng.Now()
+	rec.RoutersSpanned = a.NumRouters()
+	rec.GroupsSpanned = a.NumGroups()
+	for _, n := range a.Nodes() {
+		s.busy[n] = true
+	}
+	s.running[rec.ID] = rec
+
+	if rec.Spec.Traffic.MessageBytes > 0 && rec.Spec.Nodes >= 2 {
+		cfg := noise.GeneratorConfig{
+			Pattern:             rec.Spec.Traffic.Pattern,
+			MessageBytes:        rec.Spec.Traffic.MessageBytes,
+			IntervalCycles:      rec.Spec.Traffic.IntervalCycles,
+			JitterFraction:      0.5,
+			Mode:                rec.Spec.Traffic.Mode,
+			BurstLengthMessages: 32,
+			BurstIdleCycles:     200_000,
+			Seed:                s.cfg.Seed*1_000_003 + int64(rec.ID),
+		}
+		if g, err := noise.FromAllocation(s.fabric, a, cfg); err == nil {
+			rec.generator = g
+			g.Start(eng.Now() + rec.Spec.DurationCycles)
+		}
+	}
+	eng.After(rec.Spec.DurationCycles, func() { s.finishJob(rec) })
+}
+
+// finishJob releases the job's nodes and re-runs the scheduling pass.
+func (s *Scheduler) finishJob(rec *JobRecord) {
+	s.accountUtilization()
+	eng := s.fabric.Engine()
+	rec.State = Finished
+	rec.FinishedAt = eng.Now()
+	if rec.generator != nil {
+		rec.generator.Stop()
+		rec.MessagesSent = rec.generator.MessagesSent()
+	}
+	for _, n := range rec.Allocation.Nodes() {
+		delete(s.busy, n)
+	}
+	delete(s.running, rec.ID)
+	s.trySchedule()
+}
+
+// Stats summarizes a scheduling run.
+type Stats struct {
+	// Submitted, Started and Finished count jobs per lifecycle state reached.
+	Submitted int
+	Started   int
+	Finished  int
+	// MeanWaitCycles and MaxWaitCycles summarize queue waiting times of
+	// started jobs.
+	MeanWaitCycles float64
+	MaxWaitCycles  sim.Time
+	// MeanGroupsSpanned is the average placement fragmentation of started jobs.
+	MeanGroupsSpanned float64
+	// Utilization is busy node-cycles divided by machine node-cycles over the
+	// observation window (Start to the last accounting event).
+	Utilization float64
+	// MakespanCycles is the time between Start and the last job completion.
+	MakespanCycles sim.Time
+}
+
+// Stats computes the summary over all submitted jobs. It should be called
+// after the simulation has drained (all job completions executed).
+func (s *Scheduler) Stats() Stats {
+	s.accountUtilization()
+	var st Stats
+	st.Submitted = len(s.jobs)
+	var waitSum float64
+	var groupSum float64
+	var lastEnd sim.Time
+	for _, rec := range s.jobs {
+		if rec.State == Queued {
+			continue
+		}
+		st.Started++
+		w := rec.WaitCycles()
+		waitSum += float64(w)
+		if w > st.MaxWaitCycles {
+			st.MaxWaitCycles = w
+		}
+		groupSum += float64(rec.GroupsSpanned)
+		if rec.State == Finished {
+			st.Finished++
+			if rec.FinishedAt > lastEnd {
+				lastEnd = rec.FinishedAt
+			}
+		}
+	}
+	if st.Started > 0 {
+		st.MeanWaitCycles = waitSum / float64(st.Started)
+		st.MeanGroupsSpanned = groupSum / float64(st.Started)
+	}
+	// Utilization is computed over the scheduling window: up to the last job
+	// completion once everything finished (the fabric may keep draining queued
+	// packets afterwards, which is not the scheduler's busy time), otherwise up
+	// to the last accounting point.
+	window := s.lastAccounting
+	if st.Finished == st.Submitted && lastEnd > 0 {
+		window = lastEnd
+	}
+	if window > 0 {
+		usable := uint64(window) * uint64(s.topo.NumNodes()-len(s.reserved))
+		if usable > 0 {
+			st.Utilization = float64(s.busyNodeCycles) / float64(usable)
+		}
+	}
+	st.MakespanCycles = lastEnd
+	return st
+}
+
+// SortedByStart returns the started jobs ordered by their start time, useful
+// for rendering schedules.
+func (s *Scheduler) SortedByStart() []*JobRecord {
+	out := make([]*JobRecord, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		if rec.State != Queued {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartedAt < out[j].StartedAt })
+	return out
+}

@@ -1,0 +1,196 @@
+// Package sim provides a small deterministic discrete-event simulation engine
+// used by the Dragonfly network model. Time is measured in NIC clock cycles
+// (int64). All randomness is derived from explicitly seeded streams so that
+// every experiment is reproducible given a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time, in NIC clock cycles.
+type Time = int64
+
+// Event is a unit of work scheduled at a point in simulated time.
+type Event struct {
+	// At is the simulated time at which the event fires.
+	At Time
+	// Fn is the action executed when the event fires.
+	Fn func()
+
+	seq   uint64 // tie-breaker for deterministic ordering
+	index int    // heap index
+}
+
+// eventQueue is a min-heap of events ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	seed   int64
+	nexec  uint64
+	limit  uint64 // safety limit on executed events; 0 means unlimited
+	halted bool
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random stream
+// is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// ExecutedEvents reports how many events have been executed so far.
+func (e *Engine) ExecutedEvents() uint64 { return e.nexec }
+
+// SetEventLimit installs a safety cap on the number of executed events.
+// Run returns an error when the cap is exceeded. A limit of 0 disables the cap.
+func (e *Engine) SetEventLimit(limit uint64) { e.limit = limit }
+
+// Schedule schedules fn to run at absolute time at. Scheduling in the past is
+// clamped to the current time. It returns the scheduled event, which may be
+// passed to Cancel.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from the current time.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a previously scheduled event from the queue. Cancelling an
+// already executed or already cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events in time order until the queue is empty, Halt is called,
+// or the configured event limit is exceeded (in which case an error is
+// returned).
+func (e *Engine) Run() error {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		e.nexec++
+		if e.limit > 0 && e.nexec > e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%d", e.limit, e.now)
+		}
+		ev.Fn()
+	}
+	return nil
+}
+
+// Step executes exactly one event (the earliest pending one). It returns false
+// when the queue is empty. The error mirrors Run's event-limit behaviour.
+func (e *Engine) Step() (bool, error) {
+	if len(e.queue) == 0 {
+		return false, nil
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.At > e.now {
+		e.now = ev.At
+	}
+	e.nexec++
+	if e.limit > 0 && e.nexec > e.limit {
+		return false, fmt.Errorf("sim: event limit %d exceeded at t=%d", e.limit, e.now)
+	}
+	ev.Fn()
+	return true, nil
+}
+
+// RunUntil executes events in time order until the queue is empty or the next
+// event would fire after deadline. The clock is advanced to deadline if the
+// queue empties earlier.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := e.queue[0]
+		if ev.At > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		e.nexec++
+		if e.limit > 0 && e.nexec > e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%d", e.limit, e.now)
+		}
+		ev.Fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}

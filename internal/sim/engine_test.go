@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at same time not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := NewEngine(1)
+	var sawAt Time
+	e.After(100, func() {
+		sawAt = e.Now()
+		e.After(50, func() { sawAt = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sawAt != 150 {
+		t.Fatalf("nested After fired at %d, want 150", sawAt)
+	}
+}
+
+func TestSchedulePastClamped(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time = -1
+	e.Schedule(100, func() {
+		e.Schedule(10, func() { fired = e.Now() }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 100 {
+		t.Fatalf("past event fired at %d, want clamp to 100", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1, func() { count++; e.Halt() })
+	e.Schedule(2, func() { count++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after Halt", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	if err := e.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %d, want 25", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4 after Run", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if err := e.RunUntil(500); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("clock = %d, want 500", e.Now())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine(1)
+	e.SetEventLimit(5)
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected event limit error")
+	}
+}
+
+func TestExecutedEvents(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.ExecutedEvents() != 7 {
+		t.Fatalf("executed = %d, want 7", e.ExecutedEvents())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if a.Seed() != 42 {
+		t.Fatalf("Seed() = %d, want 42", a.Seed())
+	}
+}
+
+// Property: events always execute in non-decreasing time order, regardless of
+// the insertion order.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var fired []Time
+		for _, at := range times {
+			at := Time(at)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never runs backwards.
+func TestPropertyClockMonotone(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := NewEngine(3)
+		last := Time(0)
+		ok := true
+		for _, d := range delays {
+			d := Time(d)
+			e.After(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

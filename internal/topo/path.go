@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path is an ordered sequence of links from a source router to a destination
+// router. An empty path means source and destination are the same router.
+type Path []LinkID
+
+// Hops returns the number of router-to-router hops in the path.
+func (p Path) Hops() int { return len(p) }
+
+// MaxMinimalHops is the maximum length of a minimal path on a Dragonfly
+// (local, global, local within source and destination group: up to 2+1+2).
+const MaxMinimalHops = 5
+
+// MaxNonMinimalHops is the maximum length of a Valiant-routed non-minimal path
+// (two concatenated minimal segments via an intermediate group).
+const MaxNonMinimalHops = 10
+
+// intraGroupPath returns one path between two routers of the same group,
+// choosing randomly between the two 2-hop alternatives when they are not
+// directly connected. It panics if the routers are in different groups.
+func (t *Topology) intraGroupPath(src, dst RouterID, rng *rand.Rand) Path {
+	if src == dst {
+		return nil
+	}
+	cs, cd := t.coords[src], t.coords[dst]
+	if cs.Group != cd.Group {
+		panic(fmt.Sprintf("topo: intraGroupPath called across groups %d and %d", cs.Group, cd.Group))
+	}
+	if id := t.LinkBetween(src, dst); id != InvalidLink {
+		return Path{id}
+	}
+	// Not directly connected: two hops, either chassis-first or row-first.
+	viaA := t.RouterAt(Coord{cs.Group, cs.Chassis, cd.Blade}) // intra-chassis then row
+	viaB := t.RouterAt(Coord{cs.Group, cd.Chassis, cs.Blade}) // row then intra-chassis
+	via := viaA
+	if rng != nil && rng.Intn(2) == 1 {
+		via = viaB
+	}
+	first := t.LinkBetween(src, via)
+	second := t.LinkBetween(via, dst)
+	if first == InvalidLink || second == InvalidLink {
+		// Fall back to the other alternative; with full chassis/row wiring this
+		// cannot happen, but degenerate test configs may omit one dimension.
+		other := viaA
+		if via == viaA {
+			other = viaB
+		}
+		first = t.LinkBetween(src, other)
+		second = t.LinkBetween(other, dst)
+	}
+	return Path{first, second}
+}
+
+// MinimalPath samples one minimal path from src to dst. For inter-group pairs
+// the global link is chosen uniformly at random among the links connecting the
+// two groups; local segments choose randomly among equal-length alternatives.
+// rng may be nil for a deterministic (first-alternative) choice.
+func (t *Topology) MinimalPath(src, dst RouterID, rng *rand.Rand) Path {
+	if src == dst {
+		return nil
+	}
+	gs, gd := t.GroupOf(src), t.GroupOf(dst)
+	if gs == gd {
+		return t.intraGroupPath(src, dst, rng)
+	}
+	links := t.GlobalLinks(gs, gd)
+	if len(links) == 0 {
+		// No direct group-to-group connection: fall back to a Valiant path
+		// through an intermediate group that connects to both.
+		return t.throughIntermediateGroup(src, dst, rng)
+	}
+	var gl LinkID
+	if rng != nil {
+		gl = links[rng.Intn(len(links))]
+	} else {
+		gl = links[0]
+	}
+	l := t.Link(gl)
+	path := t.intraGroupPath(src, l.Src, rng)
+	path = append(path, gl)
+	path = append(path, t.intraGroupPath(l.Dst, dst, rng)...)
+	return path
+}
+
+// throughIntermediateGroup builds a path src -> (router in group gi) -> dst
+// where gi is a randomly chosen group different from both endpoints' groups
+// and connected to both. It is used both for Valiant non-minimal routing and
+// as a fallback when two groups have no direct link.
+func (t *Topology) throughIntermediateGroup(src, dst RouterID, rng *rand.Rand) Path {
+	gs, gd := t.GroupOf(src), t.GroupOf(dst)
+	candidates := make([]GroupID, 0, t.cfg.Groups)
+	for g := 0; g < t.cfg.Groups; g++ {
+		gi := GroupID(g)
+		if gi == gs || gi == gd {
+			continue
+		}
+		if len(t.GlobalLinks(gs, gi)) > 0 && len(t.GlobalLinks(gi, gd)) > 0 {
+			candidates = append(candidates, gi)
+		}
+	}
+	if len(candidates) == 0 {
+		// No usable intermediate group; as a last resort return a direct
+		// minimal path if one exists, else an empty path (caller treats the
+		// pair as unreachable).
+		if links := t.GlobalLinks(gs, gd); len(links) > 0 {
+			return t.MinimalPath(src, dst, rng)
+		}
+		return nil
+	}
+	var gi GroupID
+	if rng != nil {
+		gi = candidates[rng.Intn(len(candidates))]
+	} else {
+		gi = candidates[0]
+	}
+	// Enter the intermediate group through one of its inbound global links and
+	// leave through one of its outbound links towards the destination group.
+	in := t.GlobalLinks(gs, gi)
+	out := t.GlobalLinks(gi, gd)
+	var inL, outL LinkID
+	if rng != nil {
+		inL, outL = in[rng.Intn(len(in))], out[rng.Intn(len(out))]
+	} else {
+		inL, outL = in[0], out[0]
+	}
+	li, lo := t.Link(inL), t.Link(outL)
+	path := t.intraGroupPath(src, li.Src, rng)
+	path = append(path, inL)
+	path = append(path, t.intraGroupPath(li.Dst, lo.Src, rng)...)
+	path = append(path, outL)
+	path = append(path, t.intraGroupPath(lo.Dst, dst, rng)...)
+	return path
+}
+
+// NonMinimalPath samples one Valiant-style non-minimal path from src to dst.
+// For inter-group pairs the path traverses a random intermediate group; for
+// intra-group pairs it traverses a random intermediate router of the same
+// group. rng may be nil for a deterministic choice.
+func (t *Topology) NonMinimalPath(src, dst RouterID, rng *rand.Rand) Path {
+	if src == dst {
+		return nil
+	}
+	gs, gd := t.GroupOf(src), t.GroupOf(dst)
+	if gs != gd && t.cfg.Groups > 2 {
+		if p := t.throughIntermediateGroup(src, dst, rng); p != nil {
+			return p
+		}
+	}
+	// Intra-group (or two-group systems): detour through an intermediate
+	// router of the source group.
+	perGroup := t.cfg.RoutersPerGroup()
+	base := int(gs) * perGroup
+	var via RouterID
+	for attempt := 0; attempt < 8; attempt++ {
+		idx := 0
+		if rng != nil {
+			idx = rng.Intn(perGroup)
+		} else {
+			idx = attempt
+		}
+		via = RouterID(base + idx%perGroup)
+		if via != src && via != dst {
+			break
+		}
+	}
+	if via == src || via == dst {
+		return t.MinimalPath(src, dst, rng)
+	}
+	path := t.intraGroupPath(src, via, rng)
+	if gs == gd {
+		return append(path, t.intraGroupPath(via, dst, rng)...)
+	}
+	return append(path, t.MinimalPath(via, dst, rng)...)
+}
+
+// SamplePaths returns nMin minimal and nNonMin non-minimal candidate paths,
+// mirroring the Aries UGAL implementation which considers two of each per
+// packet. Candidates may coincide when few distinct paths exist.
+func (t *Topology) SamplePaths(src, dst RouterID, nMin, nNonMin int, rng *rand.Rand) (minimal, nonMinimal []Path) {
+	minimal = make([]Path, 0, nMin)
+	nonMinimal = make([]Path, 0, nNonMin)
+	for i := 0; i < nMin; i++ {
+		minimal = append(minimal, t.MinimalPath(src, dst, rng))
+	}
+	for i := 0; i < nNonMin; i++ {
+		nonMinimal = append(nonMinimal, t.NonMinimalPath(src, dst, rng))
+	}
+	return minimal, nonMinimal
+}
+
+// MinimalHops returns the number of hops of a minimal path between the two
+// routers (deterministic, no sampling).
+func (t *Topology) MinimalHops(src, dst RouterID) int {
+	return len(t.MinimalPath(src, dst, nil))
+}
+
+// ValidatePath reports an error if the path is not a connected chain of links
+// from src to dst.
+func (t *Topology) ValidatePath(src, dst RouterID, p Path) error {
+	cur := src
+	for i, id := range p {
+		if int(id) < 0 || int(id) >= len(t.links) {
+			return fmt.Errorf("topo: hop %d: invalid link id %d", i, id)
+		}
+		l := t.Link(id)
+		if l.Src != cur {
+			return fmt.Errorf("topo: hop %d: link %d starts at %d, expected %d", i, id, l.Src, cur)
+		}
+		cur = l.Dst
+	}
+	if cur != dst {
+		return fmt.Errorf("topo: path ends at router %d, expected %d", cur, dst)
+	}
+	return nil
+}

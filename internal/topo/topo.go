@@ -1,0 +1,457 @@
+// Package topo models the Cray Aries Dragonfly topology used by the paper
+// "Mitigating Network Noise on Dragonfly Networks through Application-Aware
+// Routing" (De Sensi et al., SC'19).
+//
+// The Aries interconnect is organized in three connectivity tiers: groups,
+// chassis and blades. Each group contains ChassisPerGroup chassis, each
+// chassis contains BladesPerChassis blades, and each blade holds one Aries
+// router plus NodesPerBlade compute nodes. Within a group a router is directly
+// connected to every other router in the same chassis (intra-chassis links)
+// and to the routers in the same blade position of every other chassis
+// (intra-group, "row" links). Groups are connected by optical global links
+// attached to individual routers.
+//
+// The package provides construction of the topology graph, node-to-router
+// mapping, allocation-distance classification, and sampling of minimal and
+// non-minimal (Valiant-style) paths used by the routing package.
+package topo
+
+import (
+	"fmt"
+)
+
+// RouterID identifies an Aries router (one per blade).
+type RouterID int32
+
+// NodeID identifies a compute node.
+type NodeID int32
+
+// GroupID identifies a Dragonfly group.
+type GroupID int32
+
+// LinkID indexes a directed router-to-router link in Topology.Links.
+type LinkID int32
+
+// InvalidLink is returned by lookups when no link connects two routers.
+const InvalidLink LinkID = -1
+
+// LinkType classifies a link by its tier; the network model assigns different
+// propagation latencies and widths per type.
+type LinkType uint8
+
+const (
+	// LinkIntraChassis connects two routers in the same chassis (backplane).
+	LinkIntraChassis LinkType = iota
+	// LinkIntraGroup connects two routers in the same blade position of two
+	// chassis of the same group (electrical cable).
+	LinkIntraGroup
+	// LinkGlobal connects routers in two different groups (optical cable).
+	LinkGlobal
+)
+
+// String returns a human-readable link type name.
+func (t LinkType) String() string {
+	switch t {
+	case LinkIntraChassis:
+		return "intra-chassis"
+	case LinkIntraGroup:
+		return "intra-group"
+	case LinkGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("LinkType(%d)", uint8(t))
+	}
+}
+
+// Coord locates a router inside the machine.
+type Coord struct {
+	Group   int
+	Chassis int
+	Blade   int
+}
+
+// String formats the coordinate as g<group>c<chassis>b<blade>.
+func (c Coord) String() string {
+	return fmt.Sprintf("g%dc%db%d", c.Group, c.Chassis, c.Blade)
+}
+
+// Link is a directed connection between two routers. Parallel physical tiles
+// between the same pair of routers are collapsed into a single Link with a
+// Width equal to the number of tiles; the network model scales bandwidth by
+// Width.
+type Link struct {
+	ID    LinkID
+	Src   RouterID
+	Dst   RouterID
+	Type  LinkType
+	Width int
+}
+
+// Config describes the size and wiring of a Dragonfly system.
+type Config struct {
+	// Groups is the number of Dragonfly groups (>= 1).
+	Groups int
+	// ChassisPerGroup is the number of chassis in a group (6 on Aries).
+	ChassisPerGroup int
+	// BladesPerChassis is the number of blades (routers) per chassis (16 on Aries).
+	BladesPerChassis int
+	// NodesPerBlade is the number of compute nodes attached to each router (4 on Aries).
+	NodesPerBlade int
+	// GlobalLinksPerRouter is the number of optical ports per router used for
+	// inter-group connections (up to 10 on Aries).
+	GlobalLinksPerRouter int
+	// IntraGroupLinkWidth is the number of tiles per intra-group (row) connection (3 on Aries).
+	IntraGroupLinkWidth int
+	// IntraChassisLinkWidth is the number of tiles per intra-chassis connection (1 on Aries).
+	IntraChassisLinkWidth int
+	// GlobalLinkWidth is the number of tiles aggregated per inter-group connection.
+	GlobalLinkWidth int
+}
+
+// AriesConfig returns a full-size Aries group geometry (6 chassis x 16 blades
+// x 4 nodes) with the requested number of groups.
+func AriesConfig(groups int) Config {
+	return Config{
+		Groups:                groups,
+		ChassisPerGroup:       6,
+		BladesPerChassis:      16,
+		NodesPerBlade:         4,
+		GlobalLinksPerRouter:  10,
+		IntraGroupLinkWidth:   3,
+		IntraChassisLinkWidth: 1,
+		GlobalLinkWidth:       2,
+	}
+}
+
+// PizDaintLikeConfig returns a geometry sized like the Piz Daint allocation
+// used in the paper's Figure 8 (six groups of full Aries geometry, enough for
+// a 1024-node job spread over 257 routers).
+func PizDaintLikeConfig() Config { return AriesConfig(6) }
+
+// CoriLikeConfig returns a geometry sized like the Cori allocation used in the
+// paper's Figure 9 (five groups, 64-node job over 33 routers).
+func CoriLikeConfig() Config { return AriesConfig(5) }
+
+// SmallConfig returns a reduced geometry convenient for unit tests: g groups,
+// 2 chassis per group, 4 blades per chassis, 2 nodes per blade.
+func SmallConfig(groups int) Config {
+	return Config{
+		Groups:                groups,
+		ChassisPerGroup:       2,
+		BladesPerChassis:      4,
+		NodesPerBlade:         2,
+		GlobalLinksPerRouter:  2,
+		IntraGroupLinkWidth:   3,
+		IntraChassisLinkWidth: 1,
+		GlobalLinkWidth:       2,
+	}
+}
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	switch {
+	case c.Groups < 1:
+		return fmt.Errorf("topo: Groups must be >= 1, got %d", c.Groups)
+	case c.ChassisPerGroup < 1:
+		return fmt.Errorf("topo: ChassisPerGroup must be >= 1, got %d", c.ChassisPerGroup)
+	case c.BladesPerChassis < 1:
+		return fmt.Errorf("topo: BladesPerChassis must be >= 1, got %d", c.BladesPerChassis)
+	case c.NodesPerBlade < 1:
+		return fmt.Errorf("topo: NodesPerBlade must be >= 1, got %d", c.NodesPerBlade)
+	case c.Groups > 1 && c.GlobalLinksPerRouter < 1:
+		return fmt.Errorf("topo: GlobalLinksPerRouter must be >= 1 when Groups > 1")
+	case c.IntraChassisLinkWidth < 1 || c.IntraGroupLinkWidth < 1 || c.GlobalLinkWidth < 1:
+		return fmt.Errorf("topo: link widths must be >= 1")
+	}
+	if c.Groups > 1 {
+		ports := c.RoutersPerGroup() * c.GlobalLinksPerRouter
+		if ports < c.Groups-1 {
+			return fmt.Errorf("topo: %d global ports per group cannot reach %d other groups",
+				ports, c.Groups-1)
+		}
+	}
+	return nil
+}
+
+// RoutersPerGroup returns the number of routers in one group.
+func (c Config) RoutersPerGroup() int { return c.ChassisPerGroup * c.BladesPerChassis }
+
+// Routers returns the total number of routers in the system.
+func (c Config) Routers() int { return c.Groups * c.RoutersPerGroup() }
+
+// Nodes returns the total number of compute nodes in the system.
+func (c Config) Nodes() int { return c.Routers() * c.NodesPerBlade }
+
+// Topology is the constructed Dragonfly graph.
+type Topology struct {
+	cfg Config
+
+	coords []Coord // router -> coordinate
+	links  []Link
+
+	// adjacency: adj[src][dst] -> LinkID (at most one collapsed link per pair)
+	adj []map[RouterID]LinkID
+
+	// globalByPair[(g1,g2)] lists links from a router of g1 to a router of g2.
+	globalByPair map[[2]GroupID][]LinkID
+}
+
+// New builds the topology described by cfg.
+func New(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{
+		cfg:          cfg,
+		coords:       make([]Coord, cfg.Routers()),
+		adj:          make([]map[RouterID]LinkID, cfg.Routers()),
+		globalByPair: make(map[[2]GroupID][]LinkID),
+	}
+	for r := 0; r < cfg.Routers(); r++ {
+		t.coords[r] = t.coordOf(RouterID(r))
+		t.adj[r] = make(map[RouterID]LinkID)
+	}
+	t.buildLocalLinks()
+	t.buildGlobalLinks()
+	return t, nil
+}
+
+// MustNew is like New but panics on configuration errors. It is intended for
+// tests and examples with known-good configurations.
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// NumRouters returns the number of routers.
+func (t *Topology) NumRouters() int { return len(t.coords) }
+
+// NumNodes returns the number of compute nodes.
+func (t *Topology) NumNodes() int { return t.cfg.Nodes() }
+
+// NumLinks returns the number of directed router-to-router links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Links returns the slice of all links. The caller must not modify it.
+func (t *Topology) Links() []Link { return t.links }
+
+// Link returns the link with the given id.
+func (t *Topology) Link(id LinkID) Link { return t.links[id] }
+
+// coordOf converts a router index to its coordinate.
+func (t *Topology) coordOf(r RouterID) Coord {
+	perGroup := t.cfg.RoutersPerGroup()
+	g := int(r) / perGroup
+	rest := int(r) % perGroup
+	return Coord{
+		Group:   g,
+		Chassis: rest / t.cfg.BladesPerChassis,
+		Blade:   rest % t.cfg.BladesPerChassis,
+	}
+}
+
+// RouterAt returns the router at the given coordinate.
+func (t *Topology) RouterAt(c Coord) RouterID {
+	return RouterID(c.Group*t.cfg.RoutersPerGroup() +
+		c.Chassis*t.cfg.BladesPerChassis + c.Blade)
+}
+
+// CoordOf returns the coordinate of router r.
+func (t *Topology) CoordOf(r RouterID) Coord { return t.coords[r] }
+
+// GroupOf returns the group of router r.
+func (t *Topology) GroupOf(r RouterID) GroupID { return GroupID(t.coords[r].Group) }
+
+// RouterOfNode returns the router (blade) a node is attached to.
+func (t *Topology) RouterOfNode(n NodeID) RouterID {
+	return RouterID(int(n) / t.cfg.NodesPerBlade)
+}
+
+// NodesOfRouter returns the node ids attached to router r.
+func (t *Topology) NodesOfRouter(r RouterID) []NodeID {
+	out := make([]NodeID, t.cfg.NodesPerBlade)
+	base := int(r) * t.cfg.NodesPerBlade
+	for i := range out {
+		out[i] = NodeID(base + i)
+	}
+	return out
+}
+
+// GroupOfNode returns the group a node belongs to.
+func (t *Topology) GroupOfNode(n NodeID) GroupID { return t.GroupOf(t.RouterOfNode(n)) }
+
+// LinkBetween returns the link from src to dst, or InvalidLink if the two
+// routers are not directly connected.
+func (t *Topology) LinkBetween(src, dst RouterID) LinkID {
+	if id, ok := t.adj[src][dst]; ok {
+		return id
+	}
+	return InvalidLink
+}
+
+// Neighbors returns the routers directly connected to r.
+func (t *Topology) Neighbors(r RouterID) []RouterID {
+	out := make([]RouterID, 0, len(t.adj[r]))
+	for dst := range t.adj[r] {
+		out = append(out, dst)
+	}
+	return out
+}
+
+// GlobalLinks returns the links connecting group g1 directly to group g2.
+func (t *Topology) GlobalLinks(g1, g2 GroupID) []LinkID {
+	return t.globalByPair[[2]GroupID{g1, g2}]
+}
+
+// addLink inserts a directed link and its adjacency entry.
+func (t *Topology) addLink(src, dst RouterID, typ LinkType, width int) LinkID {
+	id := LinkID(len(t.links))
+	t.links = append(t.links, Link{ID: id, Src: src, Dst: dst, Type: typ, Width: width})
+	t.adj[src][dst] = id
+	return id
+}
+
+// buildLocalLinks wires intra-chassis (all-to-all within a chassis) and
+// intra-group "row" links (all-to-all among same blade position across the
+// chassis of a group).
+func (t *Topology) buildLocalLinks() {
+	cfg := t.cfg
+	for g := 0; g < cfg.Groups; g++ {
+		for c := 0; c < cfg.ChassisPerGroup; c++ {
+			for b := 0; b < cfg.BladesPerChassis; b++ {
+				src := t.RouterAt(Coord{g, c, b})
+				// Intra-chassis: connect to every other blade in the same chassis.
+				for b2 := 0; b2 < cfg.BladesPerChassis; b2++ {
+					if b2 == b {
+						continue
+					}
+					dst := t.RouterAt(Coord{g, c, b2})
+					t.addLink(src, dst, LinkIntraChassis, cfg.IntraChassisLinkWidth)
+				}
+				// Intra-group rows: connect to the same blade position in every
+				// other chassis of the group.
+				for c2 := 0; c2 < cfg.ChassisPerGroup; c2++ {
+					if c2 == c {
+						continue
+					}
+					dst := t.RouterAt(Coord{g, c2, b})
+					t.addLink(src, dst, LinkIntraGroup, cfg.IntraGroupLinkWidth)
+				}
+			}
+		}
+	}
+}
+
+// buildGlobalLinks distributes the optical ports of each group's routers over
+// the other groups, using the canonical consecutive-port assignment: the k-th
+// link between groups g1 < g2 attaches to port index(g2 in g1's peer list)*q+k
+// of g1 and port index(g1 in g2's peer list)*q+k of g2, where q is the number
+// of links per group pair. Ports map to routers round-robin by port/h.
+func (t *Topology) buildGlobalLinks() {
+	cfg := t.cfg
+	if cfg.Groups < 2 {
+		return
+	}
+	portsPerGroup := cfg.RoutersPerGroup() * cfg.GlobalLinksPerRouter
+	q := portsPerGroup / (cfg.Groups - 1)
+	if q < 1 {
+		q = 1
+	}
+	routerOfPort := func(g, port int) RouterID {
+		r := (port / cfg.GlobalLinksPerRouter) % cfg.RoutersPerGroup()
+		return RouterID(g*cfg.RoutersPerGroup() + r)
+	}
+	peerIndex := func(g, peer int) int {
+		// index of peer in g's sorted list of other groups
+		if peer < g {
+			return peer
+		}
+		return peer - 1
+	}
+	for g1 := 0; g1 < cfg.Groups; g1++ {
+		for g2 := g1 + 1; g2 < cfg.Groups; g2++ {
+			for k := 0; k < q; k++ {
+				p1 := peerIndex(g1, g2)*q + k
+				p2 := peerIndex(g2, g1)*q + k
+				if p1 >= portsPerGroup || p2 >= portsPerGroup {
+					continue
+				}
+				r1 := routerOfPort(g1, p1)
+				r2 := routerOfPort(g2, p2)
+				// A pair of routers may already be connected by an earlier
+				// port assignment; collapse into the existing link by leaving
+				// the adjacency as is (widths already aggregate tiles).
+				if t.LinkBetween(r1, r2) == InvalidLink {
+					id := t.addLink(r1, r2, LinkGlobal, cfg.GlobalLinkWidth)
+					t.globalByPair[[2]GroupID{GroupID(g1), GroupID(g2)}] =
+						append(t.globalByPair[[2]GroupID{GroupID(g1), GroupID(g2)}], id)
+				}
+				if t.LinkBetween(r2, r1) == InvalidLink {
+					id := t.addLink(r2, r1, LinkGlobal, cfg.GlobalLinkWidth)
+					t.globalByPair[[2]GroupID{GroupID(g2), GroupID(g1)}] =
+						append(t.globalByPair[[2]GroupID{GroupID(g2), GroupID(g1)}], id)
+				}
+			}
+		}
+	}
+}
+
+// AllocationClass describes the topological distance between two nodes, in the
+// terms used by the paper's Figure 3.
+type AllocationClass uint8
+
+const (
+	// AllocSameNode means both endpoints are the same node.
+	AllocSameNode AllocationClass = iota
+	// AllocInterNodes means the two nodes share a blade (same router).
+	AllocInterNodes
+	// AllocInterBlades means the nodes sit on different blades of the same chassis.
+	AllocInterBlades
+	// AllocInterChassis means the nodes sit on different chassis of the same group.
+	AllocInterChassis
+	// AllocInterGroups means the nodes sit in different groups.
+	AllocInterGroups
+)
+
+// String returns the paper's name for the allocation class.
+func (a AllocationClass) String() string {
+	switch a {
+	case AllocSameNode:
+		return "Same-Node"
+	case AllocInterNodes:
+		return "Inter-Nodes"
+	case AllocInterBlades:
+		return "Inter-Blades"
+	case AllocInterChassis:
+		return "Inter-Chassis"
+	case AllocInterGroups:
+		return "Inter-Groups"
+	default:
+		return fmt.Sprintf("AllocationClass(%d)", uint8(a))
+	}
+}
+
+// Classify returns the allocation class of the pair (a, b).
+func (t *Topology) Classify(a, b NodeID) AllocationClass {
+	if a == b {
+		return AllocSameNode
+	}
+	ra, rb := t.RouterOfNode(a), t.RouterOfNode(b)
+	if ra == rb {
+		return AllocInterNodes
+	}
+	ca, cb := t.coords[ra], t.coords[rb]
+	if ca.Group != cb.Group {
+		return AllocInterGroups
+	}
+	if ca.Chassis != cb.Chassis {
+		return AllocInterChassis
+	}
+	return AllocInterBlades
+}

@@ -1,0 +1,274 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"aries-6", AriesConfig(6), false},
+		{"aries-1-group", AriesConfig(1), false},
+		{"small-3", SmallConfig(3), false},
+		{"zero groups", Config{}, true},
+		{"no chassis", Config{Groups: 2, BladesPerChassis: 4, NodesPerBlade: 1, GlobalLinksPerRouter: 1, IntraChassisLinkWidth: 1, IntraGroupLinkWidth: 1, GlobalLinkWidth: 1}, true},
+		{"no global ports multi group", Config{Groups: 3, ChassisPerGroup: 2, BladesPerChassis: 2, NodesPerBlade: 1, GlobalLinksPerRouter: 0, IntraChassisLinkWidth: 1, IntraGroupLinkWidth: 1, GlobalLinkWidth: 1}, true},
+		{"zero width", Config{Groups: 1, ChassisPerGroup: 2, BladesPerChassis: 2, NodesPerBlade: 1, GlobalLinksPerRouter: 1, IntraChassisLinkWidth: 0, IntraGroupLinkWidth: 1, GlobalLinkWidth: 1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSizes(t *testing.T) {
+	cfg := AriesConfig(6)
+	if got := cfg.RoutersPerGroup(); got != 96 {
+		t.Fatalf("RoutersPerGroup = %d, want 96", got)
+	}
+	if got := cfg.Routers(); got != 576 {
+		t.Fatalf("Routers = %d, want 576", got)
+	}
+	if got := cfg.Nodes(); got != 2304 {
+		t.Fatalf("Nodes = %d, want 2304", got)
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	tt := MustNew(SmallConfig(3))
+	for r := 0; r < tt.NumRouters(); r++ {
+		c := tt.CoordOf(RouterID(r))
+		if back := tt.RouterAt(c); back != RouterID(r) {
+			t.Fatalf("round trip failed for router %d: coord %v -> %d", r, c, back)
+		}
+	}
+}
+
+func TestNodeRouterMapping(t *testing.T) {
+	tt := MustNew(SmallConfig(2))
+	perBlade := tt.Config().NodesPerBlade
+	for n := 0; n < tt.NumNodes(); n++ {
+		r := tt.RouterOfNode(NodeID(n))
+		if int(r) != n/perBlade {
+			t.Fatalf("node %d mapped to router %d, want %d", n, r, n/perBlade)
+		}
+		nodes := tt.NodesOfRouter(r)
+		found := false
+		for _, nn := range nodes {
+			if nn == NodeID(n) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("NodesOfRouter(%d) = %v does not contain node %d", r, nodes, n)
+		}
+	}
+}
+
+func TestIntraChassisFullyConnected(t *testing.T) {
+	tt := MustNew(SmallConfig(2))
+	cfg := tt.Config()
+	for c := 0; c < cfg.ChassisPerGroup; c++ {
+		for b1 := 0; b1 < cfg.BladesPerChassis; b1++ {
+			for b2 := 0; b2 < cfg.BladesPerChassis; b2++ {
+				if b1 == b2 {
+					continue
+				}
+				src := tt.RouterAt(Coord{0, c, b1})
+				dst := tt.RouterAt(Coord{0, c, b2})
+				id := tt.LinkBetween(src, dst)
+				if id == InvalidLink {
+					t.Fatalf("missing intra-chassis link %v -> %v", tt.CoordOf(src), tt.CoordOf(dst))
+				}
+				if tt.Link(id).Type != LinkIntraChassis {
+					t.Fatalf("link %v->%v has type %v, want intra-chassis", src, dst, tt.Link(id).Type)
+				}
+			}
+		}
+	}
+}
+
+func TestIntraGroupRowConnected(t *testing.T) {
+	tt := MustNew(SmallConfig(2))
+	cfg := tt.Config()
+	for b := 0; b < cfg.BladesPerChassis; b++ {
+		for c1 := 0; c1 < cfg.ChassisPerGroup; c1++ {
+			for c2 := 0; c2 < cfg.ChassisPerGroup; c2++ {
+				if c1 == c2 {
+					continue
+				}
+				src := tt.RouterAt(Coord{1, c1, b})
+				dst := tt.RouterAt(Coord{1, c2, b})
+				id := tt.LinkBetween(src, dst)
+				if id == InvalidLink {
+					t.Fatalf("missing row link %v -> %v", tt.CoordOf(src), tt.CoordOf(dst))
+				}
+				if tt.Link(id).Type != LinkIntraGroup {
+					t.Fatalf("link has type %v, want intra-group", tt.Link(id).Type)
+				}
+			}
+		}
+	}
+}
+
+func TestNoCrossChassisDiagonalLinks(t *testing.T) {
+	tt := MustNew(SmallConfig(2))
+	// A router must not be directly connected to a router in another chassis
+	// with a different blade index (that requires two hops).
+	src := tt.RouterAt(Coord{0, 0, 0})
+	dst := tt.RouterAt(Coord{0, 1, 1})
+	if tt.LinkBetween(src, dst) != InvalidLink {
+		t.Fatal("unexpected diagonal intra-group link")
+	}
+}
+
+func TestGlobalLinksExistBetweenAllGroupPairs(t *testing.T) {
+	for _, groups := range []int{2, 3, 5} {
+		tt := MustNew(SmallConfig(groups))
+		for g1 := 0; g1 < groups; g1++ {
+			for g2 := 0; g2 < groups; g2++ {
+				if g1 == g2 {
+					continue
+				}
+				links := tt.GlobalLinks(GroupID(g1), GroupID(g2))
+				if len(links) == 0 {
+					t.Fatalf("groups=%d: no global links from group %d to %d", groups, g1, g2)
+				}
+				for _, id := range links {
+					l := tt.Link(id)
+					if tt.GroupOf(l.Src) != GroupID(g1) || tt.GroupOf(l.Dst) != GroupID(g2) {
+						t.Fatalf("global link %d connects groups %d->%d, want %d->%d",
+							id, tt.GroupOf(l.Src), tt.GroupOf(l.Dst), g1, g2)
+					}
+					if l.Type != LinkGlobal {
+						t.Fatalf("global link %d has type %v", id, l.Type)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalLinksExistAries(t *testing.T) {
+	tt := MustNew(AriesConfig(6))
+	for g1 := 0; g1 < 6; g1++ {
+		for g2 := 0; g2 < 6; g2++ {
+			if g1 == g2 {
+				continue
+			}
+			if len(tt.GlobalLinks(GroupID(g1), GroupID(g2))) == 0 {
+				t.Fatalf("no global links between Aries groups %d and %d", g1, g2)
+			}
+		}
+	}
+}
+
+func TestLinksAreDirectedPairs(t *testing.T) {
+	tt := MustNew(SmallConfig(3))
+	for _, l := range tt.Links() {
+		if l.Src == l.Dst {
+			t.Fatalf("self link %d at router %d", l.ID, l.Src)
+		}
+		// The reverse direction must also exist (full-duplex cables).
+		if tt.LinkBetween(l.Dst, l.Src) == InvalidLink {
+			t.Fatalf("missing reverse link for %d -> %d", l.Src, l.Dst)
+		}
+		if l.Width < 1 {
+			t.Fatalf("link %d has width %d", l.ID, l.Width)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tt := MustNew(SmallConfig(2))
+	cfg := tt.Config()
+	node := func(g, c, b, i int) NodeID {
+		r := tt.RouterAt(Coord{g, c, b})
+		return NodeID(int(r)*cfg.NodesPerBlade + i)
+	}
+	cases := []struct {
+		name string
+		a, b NodeID
+		want AllocationClass
+	}{
+		{"same node", node(0, 0, 0, 0), node(0, 0, 0, 0), AllocSameNode},
+		{"same blade", node(0, 0, 0, 0), node(0, 0, 0, 1), AllocInterNodes},
+		{"same chassis", node(0, 0, 0, 0), node(0, 0, 1, 0), AllocInterBlades},
+		{"same group", node(0, 0, 0, 0), node(0, 1, 1, 0), AllocInterChassis},
+		{"different group", node(0, 0, 0, 0), node(1, 0, 0, 0), AllocInterGroups},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tt.Classify(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNeighborsCount(t *testing.T) {
+	tt := MustNew(AriesConfig(2))
+	cfg := tt.Config()
+	r := tt.RouterAt(Coord{0, 0, 0})
+	n := tt.Neighbors(r)
+	// At least all intra-chassis and row neighbors must be present.
+	minWant := (cfg.BladesPerChassis - 1) + (cfg.ChassisPerGroup - 1)
+	if len(n) < minWant {
+		t.Fatalf("router has %d neighbors, want at least %d", len(n), minWant)
+	}
+}
+
+func TestLinkTypeString(t *testing.T) {
+	if LinkIntraChassis.String() != "intra-chassis" ||
+		LinkIntraGroup.String() != "intra-group" ||
+		LinkGlobal.String() != "global" {
+		t.Fatal("unexpected LinkType string values")
+	}
+	if LinkType(99).String() == "" {
+		t.Fatal("unknown link type must still format")
+	}
+}
+
+func TestAllocationClassString(t *testing.T) {
+	want := map[AllocationClass]string{
+		AllocSameNode:     "Same-Node",
+		AllocInterNodes:   "Inter-Nodes",
+		AllocInterBlades:  "Inter-Blades",
+		AllocInterChassis: "Inter-Chassis",
+		AllocInterGroups:  "Inter-Groups",
+	}
+	for k, v := range want {
+		if k.String() != v {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), v)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestCoordString(t *testing.T) {
+	c := Coord{Group: 1, Chassis: 2, Blade: 3}
+	if c.String() != "g1c2b3" {
+		t.Fatalf("Coord.String() = %q", c.String())
+	}
+}

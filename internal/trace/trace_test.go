@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("demo", "name", "value", "ratio")
+	t.AddRow("alpha", 42, 0.5)
+	t.AddRow("beta", int64(7), float32(1.25))
+	return t
+}
+
+func TestRenderAlignsColumns(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "0.500") || !strings.Contains(out, "1.250") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d: %q", len(lines), out)
+	}
+}
+
+func TestRenderWithoutTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("x")
+	if strings.Contains(tbl.String(), "==") {
+		t.Fatal("title marker printed for empty title")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("CSV has %d records, want 3", len(records))
+	}
+	if records[0][0] != "name" || records[1][0] != "alpha" || records[2][2] != "1.250" {
+		t.Fatalf("unexpected CSV content: %v", records)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "demo" || len(decoded.Columns) != 3 || len(decoded.Rows) != 2 {
+		t.Fatalf("unexpected JSON: %+v", decoded)
+	}
+}
+
+func TestSaveCSVAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "out.csv")
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := sample().SaveCSV(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().SaveJSON(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{csvPath, jsonPath} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+	if err := sample().SaveCSV(filepath.Join(dir, "missing", "out.csv")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+	if err := sample().SaveJSON(filepath.Join(dir, "missing", "out.json")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestAddRowMismatchedWidthStillRenders(t *testing.T) {
+	tbl := NewTable("odd", "a", "b")
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "extra")
+	out := tbl.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "extra") {
+		t.Fatalf("mismatched rows lost data: %q", out)
+	}
+}

@@ -1,0 +1,386 @@
+package workloads
+
+import (
+	"dragonfly/internal/core"
+	"dragonfly/internal/mpi"
+)
+
+// The application proxies below reproduce the communication skeletons of the
+// real applications evaluated in §5.2 of the paper. Computation is modelled as
+// rank-local delays (mpi.Rank.Compute); what matters for the routing study is
+// the message-size distribution, the peer locality and the ratio of
+// communication to computation, which each proxy preserves qualitatively:
+//
+//	MILC      4D nearest-neighbour halos + frequent small allreduces
+//	HPCG      27-point sparse halos + dot-product allreduces (CG iterations)
+//	FFT       1D-decomposed 3D FFT: two alltoall transposes per step
+//	BFS/SSSP  level-synchronous frontier exchange (alltoall) + reductions
+//	LAMMPS    3D halo exchange + neighbour rebuild allreduce, compute heavy
+//	CP2K      DBCSR-style broadcasts/allreduces mixed with alltoalls
+//	Nekbone   CG with small gather/scatter halos + allreduce per iteration
+//	WRF       2D halo exchange with wide faces (B: baroclinic, T: tropical)
+//	QE        3D FFT alltoalls + broadcasts of wavefunctions
+//	VPFFT     FFT-heavy mesoscale model (alltoall dominated)
+//	Amber     PME molecular dynamics: halos + FFT alltoall + allreduce
+type appProxy struct {
+	name       string
+	iterations int
+	body       func(r *mpi.Rank, iter int)
+}
+
+// Name implements Workload.
+func (a *appProxy) Name() string { return a.name }
+
+// Run implements Workload.
+func (a *appProxy) Run(r *mpi.Rank) {
+	for i := 0; i < a.iterations; i++ {
+		a.body(r, i)
+	}
+}
+
+// neighbours3D returns the ranks of the (up to six) face neighbours of rank in
+// a balanced 3D grid over n ranks.
+func neighbours3D(rank, n int) []int {
+	px, py, pz := Factor3D(n)
+	x, y, z := grid3(rank, px, py, pz)
+	var out []int
+	add := func(nx, ny, nz int) {
+		if nx < 0 || nx >= px || ny < 0 || ny >= py || nz < 0 || nz >= pz {
+			return
+		}
+		out = append(out, rank3(nx, ny, nz, px, py))
+	}
+	add(x-1, y, z)
+	add(x+1, y, z)
+	add(x, y-1, z)
+	add(x, y+1, z)
+	add(x, y, z-1)
+	add(x, y, z+1)
+	return out
+}
+
+// haloExchange performs one non-blocking halo exchange with the given
+// neighbours and message size.
+func haloExchange(r *mpi.Rank, peers []int, bytes int64) {
+	reqs := make([]*mpi.Request, 0, 2*len(peers))
+	for _, p := range peers {
+		reqs = append(reqs, r.Irecv(p))
+	}
+	for _, p := range peers {
+		reqs = append(reqs, r.Isend(p, bytes, core.PointToPoint))
+	}
+	r.WaitAll(reqs...)
+}
+
+// NewMILC builds the MILC/su3_rmd proxy: scale is the local lattice edge.
+func NewMILC(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 16
+	}
+	face := scale * scale * scale / 4 * 48 // 3x3 complex matrices on a face slice
+	if face < 64 {
+		face = 64
+	}
+	return &appProxy{
+		name:       "milc",
+		iterations: 6,
+		body: func(r *mpi.Rank, _ int) {
+			peers := neighbours3D(r.Rank(), r.Size())
+			// One CG-like solve: a few halo exchanges with interleaved compute
+			// and a global reduction at the end of each solve.
+			for s := 0; s < 3; s++ {
+				haloExchange(r, peers, face)
+				r.Compute(40_000)
+			}
+			r.Allreduce(8)
+		},
+	}
+}
+
+// NewHPCG builds the HPCG proxy: scale is the local subdomain edge.
+func NewHPCG(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 32
+	}
+	face := scale * scale * 8
+	return &appProxy{
+		name:       "hpcg",
+		iterations: 8,
+		body: func(r *mpi.Rank, _ int) {
+			peers := neighbours3D(r.Rank(), r.Size())
+			// SpMV halo + MG smoother halos + two dot products per iteration.
+			haloExchange(r, peers, face)
+			r.Compute(60_000)
+			haloExchange(r, peers, face/2)
+			r.Compute(20_000)
+			r.Allreduce(2)
+			r.Allreduce(2)
+		},
+	}
+}
+
+// NewFFT builds the FFT proxy (1D-decomposed 3D FFT): scale is the transform
+// edge length; each transpose moves edge^3*16/ranks^2 bytes per peer pair.
+func NewFFT(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 64
+	}
+	perPair := scale * scale * scale * 16 / int64(ranks) / int64(ranks)
+	if perPair < 64 {
+		perPair = 64
+	}
+	return &appProxy{
+		name:       "fft",
+		iterations: 4,
+		body: func(r *mpi.Rank, _ int) {
+			// Forward transform: local FFT, transpose, local FFT, transpose.
+			r.Compute(50_000)
+			r.Alltoall(perPair)
+			r.Compute(50_000)
+			r.Alltoall(perPair)
+		},
+	}
+}
+
+// NewBFS builds the Graph500 BFS proxy: scale is the log2 of the number of
+// vertices per rank.
+func NewBFS(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 16
+	}
+	verticesPerRank := int64(1) << uint(scale%28)
+	return &appProxy{
+		name:       "bfs",
+		iterations: 2,
+		body: func(r *mpi.Rank, _ int) {
+			// Level-synchronous BFS: the frontier grows then shrinks; each
+			// level exchanges frontier edges with every other rank and agrees
+			// on the global frontier size.
+			levels := []int64{1, 64, 512, 64, 4}
+			for _, frac := range levels {
+				bytes := verticesPerRank * frac / 1024 * 8 / int64(r.Size())
+				if bytes < 16 {
+					bytes = 16
+				}
+				r.Alltoall(bytes)
+				r.Allreduce(2)
+				r.Compute(10_000)
+			}
+		},
+	}
+}
+
+// NewSSSP builds the Graph500 SSSP proxy: more relaxation rounds than BFS with
+// smaller per-round exchanges.
+func NewSSSP(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 16
+	}
+	verticesPerRank := int64(1) << uint(scale%28)
+	return &appProxy{
+		name:       "sssp",
+		iterations: 2,
+		body: func(r *mpi.Rank, _ int) {
+			for round := 0; round < 10; round++ {
+				bytes := verticesPerRank / 256 * 8 / int64(r.Size())
+				if bytes < 16 {
+					bytes = 16
+				}
+				r.Alltoall(bytes)
+				r.Allreduce(2)
+				r.Compute(6_000)
+			}
+		},
+	}
+}
+
+// NewLAMMPS builds the LAMMPS proxy: scale is the number of atoms per rank (in
+// thousands).
+func NewLAMMPS(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 32
+	}
+	ghost := scale * 1000 / 10 * 40 // ~10% ghost atoms, 40 bytes each
+	return &appProxy{
+		name:       "lammps",
+		iterations: 10,
+		body: func(r *mpi.Rank, iter int) {
+			peers := neighbours3D(r.Rank(), r.Size())
+			haloExchange(r, peers, ghost)
+			r.Compute(120_000) // force computation dominates
+			if iter%5 == 0 {
+				// Neighbour list rebuild: extra exchange plus a reduction.
+				haloExchange(r, peers, ghost*2)
+				r.Allreduce(4)
+			}
+		},
+	}
+}
+
+// NewCP2K builds the CP2K proxy: scale sets the block size of the distributed
+// sparse matrix multiplications.
+func NewCP2K(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 64
+	}
+	block := scale * scale * 8
+	return &appProxy{
+		name:       "cp2k",
+		iterations: 5,
+		body: func(r *mpi.Rank, _ int) {
+			// DBCSR-like cannon steps: broadcasts of blocks along rows and
+			// columns, local multiply, then a reduction; plus an FFT-ish
+			// alltoall for the electrostatics.
+			for step := 0; step < 3; step++ {
+				r.Broadcast(step%r.Size(), block)
+				r.Compute(80_000)
+			}
+			r.Allreduce(64)
+			r.Alltoall(block / int64(r.Size()) * 4)
+		},
+	}
+}
+
+// NewNekbone builds the Nekbone proxy: scale is the number of elements per rank.
+func NewNekbone(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 512
+	}
+	exchange := scale * 8 * 6 // boundary DOFs shared with each neighbour
+	return &appProxy{
+		name:       "nekbone",
+		iterations: 12,
+		body: func(r *mpi.Rank, _ int) {
+			peers := neighbours3D(r.Rank(), r.Size())
+			// One CG iteration: gather-scatter halo, local operator, two dot
+			// products.
+			haloExchange(r, peers, exchange)
+			r.Compute(35_000)
+			r.Allreduce(2)
+			r.Allreduce(2)
+		},
+	}
+}
+
+// NewWRF builds the WRF proxy; tropical selects the WRF-T variant (more
+// physics computation per step than the baroclinic WRF-B case).
+func NewWRF(ranks int, scale int64, tropical bool) Workload {
+	if scale <= 0 {
+		scale = 128
+	}
+	px, py := Factor2D(ranks)
+	name := "wrf-b"
+	compute := int64(90_000)
+	if tropical {
+		name = "wrf-t"
+		compute = 160_000
+	}
+	return &appProxy{
+		name:       name,
+		iterations: 8,
+		body: func(r *mpi.Rank, _ int) {
+			// 2D halo exchange of wide faces (many vertical levels).
+			x := r.Rank() % px
+			y := r.Rank() / px
+			if y >= py {
+				return
+			}
+			var peers []int
+			if x > 0 {
+				peers = append(peers, r.Rank()-1)
+			}
+			if x < px-1 {
+				peers = append(peers, r.Rank()+1)
+			}
+			if y > 0 {
+				peers = append(peers, r.Rank()-px)
+			}
+			if y < py-1 {
+				peers = append(peers, r.Rank()+px)
+			}
+			face := scale / int64(px) * 64 * 8 * 4 // edge cells x levels x vars
+			if face < 256 {
+				face = 256
+			}
+			haloExchange(r, peers, face)
+			r.Compute(compute)
+		},
+	}
+}
+
+// NewQuantumEspresso builds the Quantum Espresso proxy: scale is the plane-wave
+// grid edge.
+func NewQuantumEspresso(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 64
+	}
+	perPair := scale * scale * scale * 16 / int64(ranks) / int64(ranks)
+	if perPair < 64 {
+		perPair = 64
+	}
+	return &appProxy{
+		name:       "qe",
+		iterations: 4,
+		body: func(r *mpi.Rank, _ int) {
+			// SCF step: 3D FFTs (alltoall transposes) for each band group,
+			// a broadcast of the updated potential, and a reduction.
+			for band := 0; band < 2; band++ {
+				r.Alltoall(perPair)
+				r.Compute(45_000)
+			}
+			r.Broadcast(0, scale*scale*8)
+			r.Allreduce(128)
+		},
+	}
+}
+
+// NewVPFFT builds the VPFFT proxy (mesoscale micromechanics, FFT dominated).
+func NewVPFFT(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 64
+	}
+	perPair := scale * scale * scale * 16 / int64(ranks) / int64(ranks)
+	if perPair < 64 {
+		perPair = 64
+	}
+	return &appProxy{
+		name:       "vpfft",
+		iterations: 3,
+		body: func(r *mpi.Rank, _ int) {
+			// Each strain-update iteration performs forward+inverse 3D FFTs.
+			for fftStep := 0; fftStep < 4; fftStep++ {
+				r.Alltoall(perPair)
+				r.Compute(30_000)
+			}
+			r.Allreduce(16)
+		},
+	}
+}
+
+// NewAmber builds the Amber PME molecular-dynamics proxy: scale is thousands
+// of atoms per rank.
+func NewAmber(ranks int, scale int64) Workload {
+	if scale <= 0 {
+		scale = 24
+	}
+	ghost := scale * 1000 / 8 * 48
+	fftPair := int64(64 * 64 * 64 * 16 / ranks / ranks)
+	if fftPair < 64 {
+		fftPair = 64
+	}
+	return &appProxy{
+		name:       "amber",
+		iterations: 8,
+		body: func(r *mpi.Rank, iter int) {
+			peers := neighbours3D(r.Rank(), r.Size())
+			haloExchange(r, peers, ghost)
+			r.Compute(140_000) // direct-space forces
+			// Reciprocal-space PME every other step: 3D FFT alltoalls.
+			if iter%2 == 0 {
+				r.Alltoall(fftPair)
+				r.Alltoall(fftPair)
+			}
+			r.Allreduce(8)
+		},
+	}
+}
