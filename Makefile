@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench quick
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the harness and cmd tests under the race detector (the full
+# experiment suite under -race is slow; CI runs it, locally target the pool).
+race:
+	$(GO) test -race ./internal/harness/... ./cmd/...
+
+# bench compares the serial and parallel trial executors on the suite run.
+bench:
+	$(GO) test -bench Suite -benchtime 1x -run '^$$' .
+
+# quick is the fastest end-to-end smoke: build plus one tiny experiment.
+quick: build
+	$(GO) run ./cmd/experiments -exp fig3 -quick -iterations 2

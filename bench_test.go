@@ -12,6 +12,7 @@
 package dragonfly
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -52,6 +53,38 @@ func cellMetric(b *testing.B, t *trace.Table, row, col int, name string) {
 		return
 	}
 	b.ReportMetric(v, name)
+}
+
+// suiteIDs is the multi-experiment suite used by the serial-vs-parallel
+// executor benchmarks: enough independent trials to keep every core busy.
+var suiteIDs = []string{"fig3", "fig4", "fig7", "noisesweep", "baselines", "collalgos", "biassweep"}
+
+// runSuite executes the benchmark suite with the given harness worker count.
+func runSuite(b *testing.B, parallel int) {
+	b.Helper()
+	o := benchOptions()
+	o.Parallel = parallel
+	for i := 0; i < b.N; i++ {
+		for _, id := range suiteIDs {
+			if _, err := experiments.Run(id, o); err != nil {
+				b.Fatalf("experiment %s: %v", id, err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSerial runs the experiment suite with a single harness
+// worker — the baseline the parallel executor is measured against.
+func BenchmarkSuiteSerial(b *testing.B) {
+	runSuite(b, 1)
+}
+
+// BenchmarkSuiteParallel runs the same suite with one worker per core; the
+// tables produced are byte-identical to the serial run, only faster. Compare
+// ns/op against BenchmarkSuiteSerial for the executor speedup.
+func BenchmarkSuiteParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	runSuite(b, 0)
 }
 
 // BenchmarkFig3AllocationPingPong regenerates Figure 3: ping-pong latency

@@ -1,6 +1,11 @@
 // Command experiments regenerates the tables and figures of the paper's
 // evaluation. Each experiment id corresponds to one table or figure; see
-// DESIGN.md for the mapping and EXPERIMENTS.md for recorded results.
+// EXPERIMENTS.md for the mapping and recorded qualitative shapes.
+//
+// Every experiment declares its simulated runs through the trial harness
+// (internal/harness), which fans independent trials out across CPU cores;
+// -parallel controls the worker count and the output is byte-identical at
+// every setting for a fixed -seed.
 //
 // Usage:
 //
@@ -8,17 +13,22 @@
 //	experiments -exp all -iterations 50   # everything, more samples
 //	experiments -exp fig8 -nodes 256 -full-aries -size-scale 4
 //	experiments -exp fig10 -csv out/      # also write CSV files
+//	experiments -exp all -parallel 1      # force serial execution
+//	experiments -exp all -timeout 10m -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dragonfly/internal/experiments"
+	"dragonfly/internal/harness"
 )
 
 func main() {
@@ -43,6 +53,9 @@ func run(args []string, out io.Writer) error {
 		fullAries  = fs.Bool("full-aries", false, "use full-size Aries groups (96 routers per group)")
 		quick      = fs.Bool("quick", false, "shrink sizes and iteration counts (smoke test)")
 		csvDir     = fs.String("csv", "", "directory to also write one CSV file per table")
+		parallel   = fs.Int("parallel", 0, "trial worker goroutines (0 = all cores, 1 = serial; same output either way)")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
+		progress   = fs.Bool("progress", false, "print per-trial progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +88,22 @@ func run(args []string, out io.Writer) error {
 	opts.SizeScale = *sizeScale
 	opts.FullAries = *fullAries
 	opts.Quick = *quick
+	opts.Parallel = *parallel
+	if *progress {
+		opts.Progress = func(p harness.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAILED: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s) %s\n",
+				p.Completed, p.Total, p.ID, p.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = opts.WithContext(ctx)
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -78,3 +78,23 @@ func TestRunQuickExperimentScalingFlags(t *testing.T) {
 		t.Fatalf("output missing the Figure 4 header:\n%s", out.String())
 	}
 }
+
+func TestRunParallelFlagsMatchSerial(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{"-exp", "fig3", "-quick", "-iterations", "2", "-parallel", parallel, "-timeout", "5m"}
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(args("1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("4"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("-parallel changed the output:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if !strings.Contains(serial.String(), "Figure 3") {
+		t.Fatalf("output missing the Figure 3 header:\n%s", serial.String())
+	}
+}

@@ -5,28 +5,38 @@
 // shows what the application sees (NIC counters), noisescan shows what the
 // machine sees (tile counters), the distinction §3.2 of the paper insists on.
 //
+// The scan runs through the trial harness (internal/harness): -routing
+// accepts a comma-separated list of modes, each mode becomes one trial on its
+// own private system, and the trials fan out across cores (-parallel) with an
+// optional wall-clock budget (-timeout). A single mode prints the full
+// telemetry detail; several modes print a side-by-side comparison table.
+//
 // Usage:
 //
 //	noisescan -workload alltoall -size 16384 -nodes 32 -routing ADAPTIVE_0 -noise bully
 //	noisescan -workload halo3d -size 512 -nodes 64 -routing ADAPTIVE_3 -interval 25000
+//	noisescan -workload alltoall -routing ADAPTIVE_0,ADAPTIVE_3,appaware -parallel 3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"strings"
 
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/core"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topo"
+	"dragonfly/internal/trace"
 	"dragonfly/internal/workloads"
 )
 
@@ -37,6 +47,29 @@ func main() {
 	}
 }
 
+// scanConfig carries the flag values one scan trial needs.
+type scanConfig struct {
+	workload     string
+	size         int64
+	nodes        int
+	noiseKind    string
+	noiseNodes   int
+	iterations   int
+	interval     int64
+	topLinks     int
+	hotThreshold float64
+}
+
+// scanResult is the payload of one scan trial.
+type scanResult struct {
+	Mode         string
+	WorkloadName string
+	Job          string
+	NoiseDesc    string
+	Times        []int64
+	Col          *telemetry.Collector
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("noisescan", flag.ContinueOnError)
 	var (
@@ -45,7 +78,7 @@ func run(args []string, out io.Writer) error {
 		nodes        = fs.Int("nodes", 32, "measured job size (ranks)")
 		groups       = fs.Int("groups", 4, "number of Dragonfly groups")
 		fullAries    = fs.Bool("full-aries", false, "use full-size Aries groups")
-		routingMode  = fs.String("routing", "ADAPTIVE_0", "routing mode for the measured job (or appaware)")
+		routingModes = fs.String("routing", "ADAPTIVE_0", "routing mode(s) for the measured job, comma-separated (or appaware, default); several modes are compared side by side")
 		noiseKind    = fs.String("noise", "uniform", "background pattern: uniform, hotspot, bully, burst, none")
 		noiseNodesN  = fs.Int("noise-nodes", 16, "background job size")
 		iterations   = fs.Int("iterations", 3, "measured workload repetitions")
@@ -53,10 +86,28 @@ func run(args []string, out io.Writer) error {
 		topLinks     = fs.Int("top-links", 5, "hottest links listed per report")
 		hotThreshold = fs.Float64("hot-threshold", 0.8, "utilization above which an interval counts as a hotspot")
 		seed         = fs.Int64("seed", 1, "random seed")
-		csvPath      = fs.String("csv", "", "write the per-interval telemetry table to this CSV file")
+		csvPath      = fs.String("csv", "", "write the per-interval telemetry table to this CSV file (per mode when comparing)")
+		parallel     = fs.Int("parallel", 0, "trial worker goroutines (0 = all cores, 1 = serial)")
+		timeout      = fs.Duration("timeout", 0, "abort the scan after this wall-clock duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var modes []string
+	for _, m := range strings.Split(*routingModes, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			modes = append(modes, m)
+		}
+	}
+	if len(modes) == 0 {
+		return fmt.Errorf("no routing modes given")
+	}
+	// Fail fast on unknown modes before building any system.
+	for _, m := range modes {
+		if _, err := providerFor(m); err != nil {
+			return err
+		}
 	}
 
 	var tcfg topo.Config
@@ -67,111 +118,172 @@ func run(args []string, out io.Writer) error {
 		tcfg.BladesPerChassis = 8
 		tcfg.GlobalLinksPerRouter = 4
 	}
+	cfg := scanConfig{
+		workload:     *workloadName,
+		size:         *size,
+		nodes:        *nodes,
+		noiseKind:    *noiseKind,
+		noiseNodes:   *noiseNodesN,
+		iterations:   *iterations,
+		interval:     *interval,
+		topLinks:     *topLinks,
+		hotThreshold: *hotThreshold,
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Pick the measured job's nodes once, from the suite seed, so every
+	// compared routing mode runs on the same allocation and the comparison
+	// differs only by routing (plus each mode's private background noise).
 	t, err := topo.New(tcfg)
 	if err != nil {
 		return err
 	}
-	pol, err := routing.NewPolicy(t, routing.DefaultParams())
+	job, err := alloc.Allocate(t, alloc.GroupStriped, *nodes, rand.New(rand.NewSource(*seed)), nil)
 	if err != nil {
 		return err
 	}
-	engine := sim.NewEngine(*seed)
-	fab, err := network.New(engine, t, pol, network.DefaultConfig())
-	if err != nil {
-		return err
-	}
-	job, err := alloc.Allocate(t, alloc.GroupStriped, *nodes, engine.Rand(), nil)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "system: %d nodes / %d routers / %d groups; measured job: %s\n",
-		t.NumNodes(), t.NumRouters(), t.Config().Groups, job)
 
-	if *noiseKind != "none" {
-		pattern, err := noise.ParsePattern(*noiseKind)
+	specs := make([]harness.TrialSpec, len(modes))
+	for i, mode := range modes {
+		specs[i] = harness.TrialSpec{
+			ID:       "noisescan/" + mode,
+			Meta:     mode,
+			Geometry: tcfg,
+			Body:     scanBody(mode, cfg, job.Nodes()),
+		}
+	}
+	results, err := harness.Run(ctx, *seed, *parallel, specs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "system: %d nodes / %d routers / %d groups\n",
+		tcfg.Nodes(), tcfg.Routers(), tcfg.Groups)
+	if len(modes) == 1 {
+		return renderDetailed(out, results[0].Value.(*scanResult), cfg, *csvPath)
+	}
+	return renderComparison(out, results, cfg, *csvPath)
+}
+
+// scanBody builds the trial body measuring one routing mode with telemetry.
+// jobNodes is the shared measured-job allocation, identical across modes.
+func scanBody(mode string, cfg scanConfig, jobNodes []topo.NodeID) func(context.Context, *harness.Env) (any, error) {
+	return func(ctx context.Context, e *harness.Env) (any, error) {
+		provider, err := providerFor(mode)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		ncfg := noise.DefaultGeneratorConfig()
-		ncfg.Pattern = pattern
-		ncfg.Seed = *seed + 1
-		na, err := alloc.Allocate(t, alloc.RandomScatter, *noiseNodesN, engine.Rand(), alloc.ExcludeSet(job))
-		if err != nil {
-			return fmt.Errorf("allocating background job: %w", err)
-		}
-		g, err := noise.FromAllocation(fab, na, ncfg)
-		if err != nil {
-			return err
-		}
-		g.Start(1 << 50)
-		fmt.Fprintf(out, "background job: %d nodes, %s pattern\n", na.Size(), pattern)
-	}
-
-	var provider func(int) mpi.RoutingProvider
-	if *routingMode == "appaware" {
-		provider = func(int) mpi.RoutingProvider {
-			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
-		}
-	} else if *routingMode == "default" {
-		provider = func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }
-	} else {
-		mode, err := routing.ParseMode(*routingMode)
-		if err != nil {
-			return err
-		}
-		provider = func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} }
-	}
-
-	w, err := workloads.New(*workloadName, job.Size(), *size)
-	if err != nil {
-		return err
-	}
-	comm, err := mpi.NewComm(fab, job, mpi.Config{Routing: provider})
-	if err != nil {
-		return err
-	}
-
-	col, err := telemetry.NewCollector(fab, telemetry.Config{
-		IntervalCycles:   *interval,
-		TopLinks:         *topLinks,
-		TrackGroupMatrix: true,
-	})
-	if err != nil {
-		return err
-	}
-	col.Start(1 << 50)
-
-	for i := 0; i < *iterations; i++ {
-		start := engine.Now()
-		if err := comm.Run(w.Run); err != nil {
-			return err
-		}
-		for r := 0; r < comm.Size(); r++ {
-			if err := comm.Rank(r).Err(); err != nil {
-				return fmt.Errorf("rank %d: %w", r, err)
+		job := alloc.NewAllocation(e.Topo, jobNodes)
+		var noiseDesc string
+		if cfg.noiseKind != "none" {
+			pattern, err := noise.ParsePattern(cfg.noiseKind)
+			if err != nil {
+				return nil, err
+			}
+			if g := e.StartNoise(harness.NoiseSpec{Pattern: pattern, Nodes: cfg.noiseNodes}, job); g != nil {
+				noiseDesc = fmt.Sprintf("%d nodes, %s pattern", g.NumNodes(), pattern)
 			}
 		}
-		fmt.Fprintf(out, "iteration %d: %d cycles\n", i, engine.Now()-start)
-	}
-	col.Stop()
-	col.Flush()
 
-	table := col.Table(fmt.Sprintf("telemetry: %s size=%d routing=%s", w.Name(), *size, *routingMode))
+		w, err := workloads.New(cfg.workload, job.Size(), cfg.size)
+		if err != nil {
+			return nil, err
+		}
+		comm, err := mpi.NewComm(e.Fabric, job, mpi.Config{Routing: provider})
+		if err != nil {
+			return nil, err
+		}
+		col, err := telemetry.NewCollector(e.Fabric, telemetry.Config{
+			IntervalCycles:   cfg.interval,
+			TopLinks:         cfg.topLinks,
+			TrackGroupMatrix: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		col.Start(harness.DefaultHorizon)
+
+		var times []int64
+		for i := 0; i < cfg.iterations; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			start := e.Engine.Now()
+			if err := comm.Run(w.Run); err != nil {
+				return nil, err
+			}
+			for r := 0; r < comm.Size(); r++ {
+				if err := comm.Rank(r).Err(); err != nil {
+					return nil, fmt.Errorf("rank %d: %w", r, err)
+				}
+			}
+			times = append(times, int64(e.Engine.Now()-start))
+		}
+		col.Stop()
+		col.Flush()
+		return &scanResult{
+			Mode:         mode,
+			WorkloadName: w.Name(),
+			Job:          job.String(),
+			NoiseDesc:    noiseDesc,
+			Times:        times,
+			Col:          col,
+		}, nil
+	}
+}
+
+// providerFor maps a routing-mode name to a per-rank provider factory.
+func providerFor(mode string) (func(int) mpi.RoutingProvider, error) {
+	switch mode {
+	case "appaware":
+		return func(int) mpi.RoutingProvider {
+			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
+		}, nil
+	case "default":
+		return func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }, nil
+	default:
+		m, err := routing.ParseMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		return func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: m} }, nil
+	}
+}
+
+// renderDetailed prints the full single-mode report: iteration times, the
+// per-interval telemetry table, congestion summary, hottest links and the
+// group-to-group heatmap.
+func renderDetailed(out io.Writer, r *scanResult, cfg scanConfig, csvPath string) error {
+	fmt.Fprintf(out, "measured job: %s\n", r.Job)
+	if r.NoiseDesc != "" {
+		fmt.Fprintf(out, "background job: %s\n", r.NoiseDesc)
+	}
+	for i, t := range r.Times {
+		fmt.Fprintf(out, "iteration %d: %d cycles\n", i, t)
+	}
+	col := r.Col
+	table := col.Table(fmt.Sprintf("telemetry: %s size=%d routing=%s", r.WorkloadName, cfg.size, r.Mode))
 	if err := table.Render(out); err != nil {
 		return err
 	}
-	if *csvPath != "" {
-		if err := table.SaveCSV(*csvPath); err != nil {
+	if csvPath != "" {
+		if err := table.SaveCSV(csvPath); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "per-interval telemetry written to %s\n", *csvPath)
+		fmt.Fprintf(out, "per-interval telemetry written to %s\n", csvPath)
 	}
 
 	maxUtil, _ := col.Series("max-util")
 	stall, _ := col.Series("stall-ratio")
 	fmt.Fprintf(out, "\nsamples: %d, mean max-utilization: %.3f, peak: %.3f, hotspot intervals (>=%.0f%%): %d, mean stall ratio: %.3f\n",
 		len(col.Samples()), stats.Mean(maxUtil), stats.Max(maxUtil),
-		*hotThreshold*100, len(col.HotspotIntervals(*hotThreshold)), stats.Mean(stall))
+		cfg.hotThreshold*100, len(col.HotspotIntervals(cfg.hotThreshold)), stats.Mean(stall))
 
 	if last := lastSampleWithHotLinks(col); last != nil {
 		fmt.Fprintf(out, "\nhottest links of the last active interval [%d, %d):\n", last.Start, last.End)
@@ -183,6 +295,41 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out)
 	fmt.Fprint(out, telemetry.RenderGroupHeatmap(col.AggregateGroupMatrix()))
 	return nil
+}
+
+// renderComparison prints the side-by-side summary of a multi-mode scan.
+func renderComparison(out io.Writer, results []harness.Result, cfg scanConfig, csvPath string) error {
+	table := trace.NewTable(
+		fmt.Sprintf("routing comparison: %s size=%d, %d iterations per mode", cfg.workload, cfg.size, cfg.iterations),
+		"routing", "median cycles", "mean max-util", "peak max-util",
+		fmt.Sprintf("hotspot intervals (>=%.0f%%)", cfg.hotThreshold*100),
+		"mean stall ratio", "samples")
+	for _, res := range results {
+		r := res.Value.(*scanResult)
+		times := make([]float64, len(r.Times))
+		for i, t := range r.Times {
+			times[i] = float64(t)
+		}
+		maxUtil, _ := r.Col.Series("max-util")
+		stall, _ := r.Col.Series("stall-ratio")
+		table.AddRow(r.Mode, stats.Median(times),
+			stats.Mean(maxUtil), stats.Max(maxUtil),
+			len(r.Col.HotspotIntervals(cfg.hotThreshold)),
+			stats.Mean(stall), len(r.Col.Samples()))
+		if csvPath != "" {
+			path := csvPath + "." + strings.ReplaceAll(r.Mode, "/", "_")
+			t := r.Col.Table(fmt.Sprintf("telemetry: %s size=%d routing=%s", r.WorkloadName, cfg.size, r.Mode))
+			if err := t.SaveCSV(path); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "per-interval telemetry for %s written to %s\n", r.Mode, path)
+		}
+	}
+	fmt.Fprintf(out, "measured job (same allocation every mode): %s\n", results[0].Value.(*scanResult).Job)
+	if nd := results[0].Value.(*scanResult).NoiseDesc; nd != "" {
+		fmt.Fprintf(out, "background job: %s (freshly placed per mode)\n", nd)
+	}
+	return table.Render(out)
 }
 
 // lastSampleWithHotLinks returns the most recent sample that recorded hot

@@ -64,3 +64,27 @@ func TestNoisescanCSVExport(t *testing.T) {
 		t.Fatalf("CSV confirmation missing:\n%s", out.String())
 	}
 }
+
+func TestNoisescanCompareRoutingModes(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "alltoall", "-size", "1024", "-nodes", "6", "-groups", "2",
+		"-noise", "uniform", "-noise-nodes", "4", "-iterations", "1",
+		"-routing", "ADAPTIVE_0,ADAPTIVE_3", "-parallel", "2", "-timeout", "5m",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"routing comparison", "ADAPTIVE_0", "ADAPTIVE_3", "median cycles"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNoisescanCompareRejectsUnknownMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-routing", "ADAPTIVE_0,nope", "-nodes", "4", "-groups", "2"}, &out); err == nil {
+		t.Fatal("expected error for unknown routing mode in a comparison list")
+	}
+}

@@ -1,0 +1,3 @@
+module dragonfly
+
+go 1.24

@@ -2,16 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dragonfly/internal/alloc"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
-	"dragonfly/internal/topo"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/workloads"
 )
@@ -44,22 +41,60 @@ func BiasSweep(opts Options) ([]*trace.Table, error) {
 		}},
 	}
 
+	// The swept routing mode, measured alone on each system.
+	biased := singleSetup(func() RoutingSetup {
+		return RoutingSetup{
+			Name: "HighBias",
+			Provider: func(int) mpi.RoutingProvider {
+				return mpi.StaticRouting{Mode: routing.AdaptiveHighBias}
+			},
+		}
+	})
+
+	var specs []harness.TrialSpec
+	for _, c := range cases {
+		for _, bias := range biases {
+			p := routing.DefaultParams()
+			p.HighBiasCycles = bias
+			if bias < p.LowBiasCycles {
+				p.LowBiasCycles = bias
+			}
+			params := p
+			specs = append(specs, harness.TrialSpec{
+				ID:            fmt.Sprintf("biassweep/%s/bias%d", c.label, bias),
+				Meta:          bias,
+				Geometry:      opts.pizDaintGeometry(),
+				RoutingParams: &params,
+				Placement:     alloc.GroupStriped,
+				JobNodes:      opts.Nodes,
+				Noise:         opts.noiseSpec(noise.UniformRandom),
+				Setups:        biased,
+				Workload:      c.build,
+				Iterations:    opts.iters(),
+			})
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+
 	table := trace.NewTable(
 		fmt.Sprintf("Non-minimal bias sweep, %d nodes (ADAPTIVE-style UGAL with variable bias)", opts.Nodes),
 		"benchmark", "bias (cycles)", "median (cycles)", "norm vs bias=0", "qcd", "minimal packets %")
 
-	for ci, c := range cases {
+	next := 0
+	for _, c := range cases {
 		var zeroBiasMedian float64
-		for bi, bias := range biases {
-			params := routing.DefaultParams()
-			params.HighBiasCycles = bias
-			if bias < params.LowBiasCycles {
-				params.LowBiasCycles = bias
-			}
-			med, qcd, minPct, err := measureWithBias(opts, params, c.build, int64(ci*100+bi))
+		for bi := range biases {
+			r := results[next]
+			next++
+			res, err := measurements(r)
 			if err != nil {
-				return nil, fmt.Errorf("%s bias=%d: %w", c.label, bias, err)
+				return nil, err
 			}
+			m := res["HighBias"]
+			med := stats.Median(m.Times)
 			if bi == 0 {
 				zeroBiasMedian = med
 			}
@@ -67,89 +102,16 @@ func BiasSweep(opts Options) ([]*trace.Table, error) {
 			if zeroBiasMedian > 0 {
 				norm = med / zeroBiasMedian
 			}
-			table.AddRow(c.label, bias, med, norm, qcd, minPct)
+			var delta = m.Deltas[0]
+			for _, d := range m.Deltas[1:] {
+				delta.Add(d)
+			}
+			minPct := 0.0
+			if delta.RequestPackets > 0 {
+				minPct = 100 * float64(delta.MinimalPackets) / float64(delta.RequestPackets)
+			}
+			table.AddRow(c.label, r.Spec.Meta, med, norm, stats.QCD(m.Times), minPct)
 		}
 	}
 	return []*trace.Table{table}, nil
-}
-
-// measureWithBias builds a fresh system whose AdaptiveHighBias mode uses the
-// given bias, runs the workload under that mode with background noise, and
-// returns the median execution time, its QCD and the percentage of packets
-// routed minimally.
-func measureWithBias(opts Options, params routing.Params,
-	build func(ranks int) workloads.Workload, seedOffset int64) (median, qcd, minimalPct float64, err error) {
-
-	t, err := topo.New(opts.pizDaintGeometry())
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	pol, err := routing.NewPolicy(t, params)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	engine := sim.NewEngine(opts.Seed + 11_000 + seedOffset)
-	fab, err := network.New(engine, t, pol, network.DefaultConfig())
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	rng := rand.New(rand.NewSource(opts.Seed + seedOffset))
-
-	n := opts.Nodes
-	if n > t.NumNodes() {
-		n = t.NumNodes()
-	}
-	job, err := alloc.Allocate(t, alloc.GroupStriped, n, rng, nil)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-
-	// Background noise, same shape as the standard experiments.
-	noiseNodes := opts.NoiseNodes
-	if free := t.NumNodes() - job.Size(); noiseNodes > free {
-		noiseNodes = free
-	}
-	if noiseNodes >= 2 {
-		na, aerr := alloc.Allocate(t, alloc.RandomScatter, noiseNodes, rng, alloc.ExcludeSet(job))
-		if aerr == nil {
-			cfg := noise.DefaultGeneratorConfig()
-			cfg.IntervalCycles = opts.NoiseIntervalCycles
-			cfg.MessageBytes = opts.scaleSize(cfg.MessageBytes)
-			cfg.Seed = opts.Seed + seedOffset
-			if g, gerr := noise.FromAllocation(fab, na, cfg); gerr == nil {
-				g.Start(noiseHorizon)
-			}
-		}
-	}
-
-	comm, err := mpi.NewComm(fab, job, mpi.Config{
-		Routing: func(int) mpi.RoutingProvider {
-			return mpi.StaticRouting{Mode: routing.AdaptiveHighBias}
-		},
-	})
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	w := build(job.Size())
-
-	var times []float64
-	before := jobCounters(fab, job)
-	for i := 0; i < opts.iters(); i++ {
-		start := engine.Now()
-		if err := comm.Run(w.Run); err != nil {
-			return 0, 0, 0, err
-		}
-		for r := 0; r < comm.Size(); r++ {
-			if err := comm.Rank(r).Err(); err != nil {
-				return 0, 0, 0, err
-			}
-		}
-		times = append(times, float64(engine.Now()-start))
-	}
-	delta := jobCounters(fab, job).Sub(before)
-	minPct := 0.0
-	if delta.RequestPackets > 0 {
-		minPct = 100 * float64(delta.MinimalPackets) / float64(delta.RequestPackets)
-	}
-	return stats.Median(times), stats.QCD(times), minPct, nil
 }

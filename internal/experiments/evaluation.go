@@ -5,6 +5,7 @@ import (
 
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/core"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/topo"
@@ -69,11 +70,34 @@ func microCases(opts Options) []microCase {
 	return cases
 }
 
+// comparisonSpecs declares one trial per case: a GroupStriped job with
+// background noise, measured under the three standard setups.
+func comparisonSpecs(opts Options, geometry topo.Config, idPrefix string, jobNodes int,
+	cases []microCase) []harness.TrialSpec {
+
+	specs := make([]harness.TrialSpec, len(cases))
+	for i, c := range cases {
+		build := c.build
+		specs[i] = harness.TrialSpec{
+			ID:         idPrefix + "/" + c.label,
+			Meta:       c.label,
+			Geometry:   geometry,
+			Placement:  alloc.GroupStriped,
+			JobNodes:   jobNodes,
+			Noise:      opts.noiseSpec(noise.UniformRandom),
+			Setups:     StandardSetups,
+			Workload:   func(ranks int) workloads.Workload { return build(ranks, opts) },
+			Iterations: opts.iters(),
+		}
+	}
+	return specs
+}
+
 // runComparison measures all routing setups for a list of cases on one system
 // geometry and emits a normalized table in the style of Figures 8-10: every
 // execution time is divided by the median of the Default configuration.
-func runComparison(opts Options, geometry topo.Config, title string, jobNodes int,
-	cases []microCase, seedBase int64) (*trace.Table, error) {
+func runComparison(opts Options, geometry topo.Config, idPrefix, title string, jobNodes int,
+	cases []microCase) (*trace.Table, error) {
 
 	table := trace.NewTable(title,
 		"benchmark", "default median (cycles)",
@@ -82,26 +106,14 @@ func runComparison(opts Options, geometry topo.Config, title string, jobNodes in
 		"appaware norm median", "appaware norm iqr",
 		"appaware % default traffic", "appaware wins vs worst")
 
-	for i, c := range cases {
-		e, err := newEnv(opts, geometry, seedBase+int64(i))
+	results, err := opts.runTrials(comparisonSpecs(opts, geometry, idPrefix, jobNodes, cases))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
-		}
-		n := jobNodes
-		if n > e.topo.NumNodes() {
-			n = e.topo.NumNodes()
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return nil, err
-		}
-		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
-
-		setups := StandardSetups()
-		w := c.build(job.Size(), opts)
-		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.label, err)
 		}
 		defMedian := stats.Median(res["Default"].Times)
 		norm := func(name string) (median, iqr float64) {
@@ -115,7 +127,7 @@ func runComparison(opts Options, geometry topo.Config, title string, jobNodes in
 		if hm > worst {
 			worst = hm
 		}
-		table.AddRow(c.label, defMedian,
+		table.AddRow(r.Spec.Meta, defMedian,
 			dm, di, hm, hi, am, ai,
 			res["AppAware"].SelectorStats.DefaultTrafficFraction()*100,
 			boolLabel(am <= worst*1.05))
@@ -139,7 +151,7 @@ func boolLabel(b bool) string {
 func Figure8Microbenchmarks(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
 	title := fmt.Sprintf("Figure 8: microbenchmarks, %d nodes, Piz Daint style (6 groups), normalized to Default median", opts.Nodes)
-	t, err := runComparison(opts, opts.pizDaintGeometry(), title, opts.Nodes, microCases(opts), 800)
+	t, err := runComparison(opts, opts.pizDaintGeometry(), "fig8", title, opts.Nodes, microCases(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +167,7 @@ func Figure9MicrobenchmarksCori(opts Options) ([]*trace.Table, error) {
 		nodes = 8
 	}
 	title := fmt.Sprintf("Figure 9: microbenchmarks, %d nodes, Cori style (5 groups), normalized to Default median", nodes)
-	t, err := runComparison(opts, opts.coriGeometry(), title, nodes, microCases(opts), 900)
+	t, err := runComparison(opts, opts.coriGeometry(), "fig9", title, nodes, microCases(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +214,7 @@ func appCases(opts Options) []microCase {
 func Figure10Applications(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
 	title := fmt.Sprintf("Figure 10: applications, %d nodes, normalized to Default median", opts.Nodes)
-	apps, err := runComparison(opts, opts.pizDaintGeometry(), title, opts.Nodes, appCases(opts), 1000)
+	apps, err := runComparison(opts, opts.pizDaintGeometry(), "fig10", title, opts.Nodes, appCases(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -221,97 +233,140 @@ func Figure10Applications(opts Options) ([]*trace.Table, error) {
 		build: func(r int, _ Options) workloads.Workload { return workloads.NewFFT(r, fftScale) },
 	}}
 	smallTitle := fmt.Sprintf("Figure 10 (right): FFT on a %d-node allocation, normalized to Default median", smallNodes)
-	small, err := runComparison(opts, opts.pizDaintGeometry(), smallTitle, smallNodes, fftSmall, 1050)
+	small, err := runComparison(opts, opts.pizDaintGeometry(), "fig10-small", smallTitle, smallNodes, fftSmall)
 	if err != nil {
 		return nil, err
 	}
 	return []*trace.Table{apps, small}, nil
 }
 
+// ablationPoint is one swept configuration of the selector ablations.
+type ablationPoint struct {
+	id  string
+	cfg core.Config
+}
+
+// ablationSpecs declares the alltoall-under-noise trial every ablation point
+// is measured with.
+func ablationSpecs(opts Options, points []ablationPoint) []harness.TrialSpec {
+	size := opts.scaleSize(16 << 10)
+	n := opts.Nodes / 2
+	if n < 8 {
+		n = 8
+	}
+	specs := make([]harness.TrialSpec, len(points))
+	for i, p := range points {
+		cfg := p.cfg
+		specs[i] = harness.TrialSpec{
+			ID:        "ablations/" + p.id,
+			Geometry:  opts.pizDaintGeometry(),
+			Placement: alloc.GroupStriped,
+			JobNodes:  n,
+			Noise:     opts.noiseSpec(noise.UniformRandom),
+			Setups:    singleSetup(func() RoutingSetup { return AppAwareSetup(cfg) }),
+			Workload: func(ranks int) workloads.Workload {
+				return &workloads.Alltoall{MessageBytes: size, Iterations: 1}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	return specs
+}
+
 // Ablations sweeps the design parameters of the application-aware selector
 // that §6 of the paper discusses qualitatively: the cumulative-size threshold,
 // the staleness window, the scaling factors and the counter-read overhead.
 // Each sweep reports the median alltoall time and the fraction of traffic the
-// selector sends with the Default routing.
+// selector sends with the Default routing. All points of all four sweeps run
+// as one trial suite, so the whole ablation parallelizes across cores.
 func Ablations(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
-	size := opts.scaleSize(16 << 10)
 
-	runWith := func(cfg core.Config, seed int64) (median float64, defaultFrac float64, switches uint64, err error) {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), seed)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		n := opts.Nodes / 2
-		if n < 8 {
-			n = 8
-		}
-		if n > e.topo.NumNodes() {
-			n = e.topo.NumNodes()
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
-		setup := AppAwareSetup(cfg)
-		w := &workloads.Alltoall{MessageBytes: size, Iterations: 1}
-		m, err := e.measureSingle(job, setup, nil, w, opts.iters())
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		st := setup.Stats()
-		return stats.Median(m.Times), st.DefaultTrafficFraction(), st.Switches, nil
-	}
+	thresholds := []int64{0, 1 << 10, 4 << 10, 64 << 10, 1 << 20}
+	stalenesses := []int{4, 16, 64, 256}
+	scalings := [][2]float64{{0.6, 1.2}, {0.8, 1.6}, {0.9, 2.5}, {1.0, 1.0}}
+	overheads := []int64{0, 300, 3_000, 30_000}
 
-	threshold := trace.NewTable("Ablation: selector cumulative-size threshold (alltoall)",
-		"threshold (bytes)", "median time (cycles)", "% default traffic", "switches")
-	for i, th := range []int64{0, 1 << 10, 4 << 10, 64 << 10, 1 << 20} {
+	var points []ablationPoint
+	for _, th := range thresholds {
 		cfg := core.DefaultConfig()
 		cfg.ThresholdBytes = th
-		med, frac, sw, err := runWith(cfg, 1100+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		threshold.AddRow(th, med, frac*100, sw)
+		points = append(points, ablationPoint{fmt.Sprintf("threshold/%d", th), cfg})
 	}
-
-	staleness := trace.NewTable("Ablation: selector staleness window (alltoall)",
-		"staleness (decisions)", "median time (cycles)", "% default traffic", "switches")
-	for i, st := range []int{4, 16, 64, 256} {
+	for _, st := range stalenesses {
 		cfg := core.DefaultConfig()
 		cfg.StalenessDecisions = st
-		med, frac, sw, err := runWith(cfg, 1200+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		staleness.AddRow(st, med, frac*100, sw)
+		points = append(points, ablationPoint{fmt.Sprintf("staleness/%d", st), cfg})
 	}
-
-	scaling := trace.NewTable("Ablation: scaling factors lambda/sigma (alltoall)",
-		"lambda_ad", "sigma_ad", "median time (cycles)", "% default traffic")
-	for i, pair := range [][2]float64{{0.6, 1.2}, {0.8, 1.6}, {0.9, 2.5}, {1.0, 1.0}} {
+	for _, pair := range scalings {
 		cfg := core.DefaultConfig()
 		cfg.LambdaAdaptiveToBias = pair[0]
 		cfg.SigmaAdaptiveToBias = pair[1]
 		cfg.LambdaBiasToAdaptive = 1 / pair[0]
 		cfg.SigmaBiasToAdaptive = 1 / pair[1]
-		med, frac, _, err := runWith(cfg, 1300+int64(i))
+		points = append(points, ablationPoint{fmt.Sprintf("scaling/%g-%g", pair[0], pair[1]), cfg})
+	}
+	for _, ov := range overheads {
+		cfg := core.DefaultConfig()
+		cfg.CounterReadOverheadCycles = ov
+		points = append(points, ablationPoint{fmt.Sprintf("overhead/%d", ov), cfg})
+	}
+
+	results, err := opts.runTrials(ablationSpecs(opts, points))
+	if err != nil {
+		return nil, err
+	}
+	row := func(i int) (median, frac float64, switches uint64, err error) {
+		res, err := measurements(results[i])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		m := res["AppAware"]
+		return stats.Median(m.Times), m.SelectorStats.DefaultTrafficFraction(), m.SelectorStats.Switches, nil
+	}
+
+	next := 0
+	threshold := trace.NewTable("Ablation: selector cumulative-size threshold (alltoall)",
+		"threshold (bytes)", "median time (cycles)", "% default traffic", "switches")
+	for _, th := range thresholds {
+		med, frac, sw, err := row(next)
 		if err != nil {
 			return nil, err
 		}
+		next++
+		threshold.AddRow(th, med, frac*100, sw)
+	}
+
+	staleness := trace.NewTable("Ablation: selector staleness window (alltoall)",
+		"staleness (decisions)", "median time (cycles)", "% default traffic", "switches")
+	for _, st := range stalenesses {
+		med, frac, sw, err := row(next)
+		if err != nil {
+			return nil, err
+		}
+		next++
+		staleness.AddRow(st, med, frac*100, sw)
+	}
+
+	scaling := trace.NewTable("Ablation: scaling factors lambda/sigma (alltoall)",
+		"lambda_ad", "sigma_ad", "median time (cycles)", "% default traffic")
+	for _, pair := range scalings {
+		med, frac, _, err := row(next)
+		if err != nil {
+			return nil, err
+		}
+		next++
 		scaling.AddRow(pair[0], pair[1], med, frac*100)
 	}
 
 	overhead := trace.NewTable("Ablation: counter read overhead (alltoall)",
 		"overhead (cycles)", "median time (cycles)", "% default traffic")
-	for i, ov := range []int64{0, 300, 3_000, 30_000} {
-		cfg := core.DefaultConfig()
-		cfg.CounterReadOverheadCycles = ov
-		med, frac, _, err := runWith(cfg, 1400+int64(i))
+	for _, ov := range overheads {
+		med, frac, _, err := row(next)
 		if err != nil {
 			return nil, err
 		}
+		next++
 		overhead.AddRow(ov, med, frac*100)
 	}
 

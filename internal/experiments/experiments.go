@@ -1,9 +1,12 @@
 // Package experiments contains one runner per table and figure of the paper's
 // evaluation, plus the model-validation experiment of §2.4 and ablation
 // studies over the design choices of the application-aware selector. Each
-// runner builds a fresh simulated system, generates the workload and the
-// background interference, and returns trace.Tables holding the same rows or
-// series the paper reports.
+// runner declares its simulated runs as harness.TrialSpecs — topology,
+// allocation, routing setups, workload, background noise — and the shared
+// worker-pool executor (internal/harness) builds a fresh private system per
+// trial and fans the trials out across cores. Results are folded into
+// trace.Tables in declaration order, so the tables are byte-identical
+// regardless of Options.Parallel.
 //
 // The absolute sizes (node counts, message sizes, iteration counts) default to
 // values that run on a laptop in seconds to minutes; the Options struct scales
@@ -13,23 +16,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 
-	"dragonfly/internal/alloc"
 	"dragonfly/internal/core"
-	"dragonfly/internal/counters"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/trace"
-	"dragonfly/internal/workloads"
 )
+
+// RoutingSetup names a routing configuration under test; it is the harness
+// type re-exported for convenience.
+type RoutingSetup = harness.RoutingSetup
+
+// Measurement is the per-setup result of one trial; it is the harness type
+// re-exported for convenience.
+type Measurement = harness.Measurement
 
 // Options control the scale of every experiment.
 type Options struct {
@@ -53,6 +60,15 @@ type Options struct {
 	// Quick further shrinks sizes and iteration counts so the whole suite runs
 	// in CI/tests within seconds.
 	Quick bool
+	// Parallel is the number of worker goroutines the trial harness uses:
+	// 0 means GOMAXPROCS, 1 runs serially. For a fixed Seed the resulting
+	// tables are byte-identical at every setting.
+	Parallel int
+	// Progress, if non-nil, receives one callback per finished trial.
+	Progress func(harness.Progress)
+
+	// ctx cancels in-flight trial suites; set it with WithContext.
+	ctx context.Context
 }
 
 // DefaultOptions returns laptop-scale defaults.
@@ -75,6 +91,21 @@ func QuickOptions() Options {
 	o.NoiseNodes = 8
 	o.Quick = true
 	return o
+}
+
+// WithContext returns a copy of the options whose experiment runs abort when
+// ctx is cancelled (used by cmd/experiments -timeout).
+func (o Options) WithContext(ctx context.Context) Options {
+	o.ctx = ctx
+	return o
+}
+
+// context returns the cancellation context of the run.
+func (o Options) context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 // normalize fills in zero fields with defaults.
@@ -150,86 +181,50 @@ func (o Options) coriGeometry() topo.Config {
 	return cfg
 }
 
-// env bundles the simulated system of one experiment.
-type env struct {
-	opts   Options
-	topo   *topo.Topology
-	engine *sim.Engine
-	fabric *network.Fabric
-	rng    *rand.Rand
-}
-
-// newEnv builds a fresh system with the given geometry.
-func newEnv(opts Options, geometry topo.Config, seedOffset int64) (*env, error) {
-	t, err := topo.New(geometry)
-	if err != nil {
-		return nil, err
-	}
-	pol, err := routing.NewPolicy(t, routing.DefaultParams())
-	if err != nil {
-		return nil, err
-	}
-	engine := sim.NewEngine(opts.Seed + seedOffset)
-	fab, err := network.New(engine, t, pol, network.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	return &env{
-		opts:   opts,
-		topo:   t,
-		engine: engine,
-		fabric: fab,
-		rng:    rand.New(rand.NewSource(opts.Seed + seedOffset)),
-	}, nil
-}
-
-// startBackgroundNoise places a background job on nodes disjoint from used and
-// starts it. It returns nil when there is not enough room for a background job
-// (small test topologies).
-func (e *env) startBackgroundNoise(used map[topo.NodeID]bool, pattern noise.Pattern, until sim.Time) *noise.Generator {
-	n := e.opts.NoiseNodes
-	if e.opts.Quick && n > 8 {
+// noiseSpec maps the option scale onto a concrete background-job declaration.
+func (o Options) noiseSpec(pattern noise.Pattern) *harness.NoiseSpec {
+	n := o.NoiseNodes
+	if o.Quick && n > 8 {
 		n = 8
 	}
-	free := e.topo.NumNodes() - len(used)
-	if n > free {
-		n = free
+	return &harness.NoiseSpec{
+		Pattern:        pattern,
+		Nodes:          n,
+		IntervalCycles: o.NoiseIntervalCycles,
+		MessageBytes:   o.scaleSize(noise.DefaultGeneratorConfig().MessageBytes),
 	}
-	if n < 2 {
-		return nil
-	}
-	a, err := alloc.Allocate(e.topo, alloc.RandomScatter, n, e.rng, used)
-	if err != nil {
-		return nil
-	}
-	cfg := noise.DefaultGeneratorConfig()
-	cfg.Pattern = pattern
-	cfg.IntervalCycles = e.opts.NoiseIntervalCycles
-	cfg.MessageBytes = e.opts.scaleSize(cfg.MessageBytes)
-	cfg.Seed = e.opts.Seed*7919 + int64(pattern)
-	g, err := noise.FromAllocation(e.fabric, a, cfg)
-	if err != nil {
-		return nil
-	}
-	g.Start(until)
-	return g
 }
 
-// noiseHorizon is the deadline handed to background generators; experiments
-// complete far before it.
-const noiseHorizon sim.Time = 1 << 50
+// runTrials executes trial specs through the worker-pool harness configured
+// by the options (seed, parallelism, progress callback, cancellation).
+func (o Options) runTrials(specs []harness.TrialSpec) ([]harness.Result, error) {
+	ex := &harness.Executor{Parallel: o.Parallel, Seed: o.Seed, OnProgress: o.Progress}
+	return ex.Run(o.context(), specs)
+}
 
-// RoutingSetup names a routing configuration under test.
-type RoutingSetup struct {
-	// Name is the label used in result tables ("Default", "HighBias",
-	// "AppAware").
-	Name string
-	// Provider builds the per-rank routing provider. Called once per rank per
-	// allocation so that stateful selectors are rank-private.
-	Provider func(rank int) mpi.RoutingProvider
-	// Stats, if non-nil, returns the aggregated selector statistics after the
-	// measurement (only meaningful for the application-aware setup).
-	Stats func() core.Stats
+// measurements extracts the default-body result of a trial.
+func measurements(r harness.Result) (map[string]*Measurement, error) {
+	m, ok := r.Value.(harness.Measurements)
+	if !ok {
+		return nil, fmt.Errorf("experiments: trial %q returned %T, want measurements", r.Spec.ID, r.Value)
+	}
+	return m, nil
+}
+
+// namesOf returns the setup names of a factory's output, in order, so table
+// folds iterate the same setups the specs measured without restating names.
+func namesOf(setups []RoutingSetup) []string {
+	names := make([]string, len(setups))
+	for i, s := range setups {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// singleSetup adapts one routing setup constructor to the harness setup
+// factory signature.
+func singleSetup(build func() RoutingSetup) func() []RoutingSetup {
+	return func() []RoutingSetup { return []RoutingSetup{build()} }
 }
 
 // DefaultSetup is the paper's "Default" configuration: ADAPTIVE_0 for
@@ -280,82 +275,9 @@ func AppAwareSetup(cfg core.Config) RoutingSetup {
 }
 
 // StandardSetups returns the three configurations compared in Figures 8-10.
+// It has the harness setup-factory signature, so specs can use it directly.
 func StandardSetups() []RoutingSetup {
 	return []RoutingSetup{DefaultSetup(), HighBiasSetup(), AppAwareSetup(core.DefaultConfig())}
-}
-
-// Measurement is the result of measuring one routing setup on one workload.
-type Measurement struct {
-	// Times holds one execution time (cycles) per iteration.
-	Times []float64
-	// Deltas holds the per-iteration NIC counter deltas summed over the job.
-	Deltas []counters.NIC
-	// SelectorStats aggregates selector statistics (zero for static setups).
-	SelectorStats core.Stats
-}
-
-// jobCounters sums the NIC counters of all nodes of an allocation.
-func jobCounters(f *network.Fabric, a *alloc.Allocation) counters.NIC {
-	var total counters.NIC
-	for _, n := range a.Nodes() {
-		total.Add(f.NodeCounters(n))
-	}
-	return total
-}
-
-// measureSetups runs the workload under every routing setup, alternating the
-// setups on successive iterations (as the paper does, so that transient noise
-// does not penalize a single configuration), and returns one Measurement per
-// setup keyed by name.
-func (e *env) measureSetups(a *alloc.Allocation, setups []RoutingSetup,
-	hostNoise func(int) int64, w workloads.Workload, iterations int) (map[string]*Measurement, error) {
-
-	comms := make([]*mpi.Comm, len(setups))
-	for i, s := range setups {
-		c, err := mpi.NewComm(e.fabric, a, mpi.Config{Routing: s.Provider, HostNoise: hostNoise})
-		if err != nil {
-			return nil, err
-		}
-		comms[i] = c
-	}
-	out := make(map[string]*Measurement, len(setups))
-	for _, s := range setups {
-		out[s.Name] = &Measurement{}
-	}
-	for iter := 0; iter < iterations; iter++ {
-		for i, s := range setups {
-			before := jobCounters(e.fabric, a)
-			start := e.engine.Now()
-			if err := comms[i].Run(w.Run); err != nil {
-				return nil, fmt.Errorf("experiment iteration %d, setup %s: %w", iter, s.Name, err)
-			}
-			for r := 0; r < comms[i].Size(); r++ {
-				if err := comms[i].Rank(r).Err(); err != nil {
-					return nil, fmt.Errorf("setup %s rank %d: %w", s.Name, r, err)
-				}
-			}
-			elapsed := float64(e.engine.Now() - start)
-			m := out[s.Name]
-			m.Times = append(m.Times, elapsed)
-			m.Deltas = append(m.Deltas, jobCounters(e.fabric, a).Sub(before))
-		}
-	}
-	for _, s := range setups {
-		if s.Stats != nil {
-			out[s.Name].SelectorStats = s.Stats()
-		}
-	}
-	return out, nil
-}
-
-// measureSingle is a convenience wrapper measuring a single routing setup.
-func (e *env) measureSingle(a *alloc.Allocation, setup RoutingSetup,
-	hostNoise func(int) int64, w workloads.Workload, iterations int) (*Measurement, error) {
-	res, err := e.measureSetups(a, []RoutingSetup{setup}, hostNoise, w, iterations)
-	if err != nil {
-		return nil, err
-	}
-	return res[setup.Name], nil
 }
 
 // Runner is an experiment entry point.

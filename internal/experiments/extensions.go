@@ -5,6 +5,7 @@ import (
 
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/core"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/trace"
@@ -34,30 +35,37 @@ func NoiseSweep(opts Options) ([]*trace.Table, error) {
 	if opts.Quick {
 		intervals = []int64{0, 12_000}
 	}
+	n := opts.Nodes / 2
+	if n < 8 {
+		n = 8
+	}
+	specs := make([]harness.TrialSpec, len(intervals))
 	for i, interval := range intervals {
-		runOpts := opts
-		runOpts.NoiseIntervalCycles = interval
-		e, err := newEnv(runOpts, runOpts.pizDaintGeometry(), 2000+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		n := runOpts.Nodes / 2
-		if n < 8 {
-			n = 8
-		}
-		if n > e.topo.NumNodes() {
-			n = e.topo.NumNodes()
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return nil, err
-		}
+		var ns *harness.NoiseSpec
 		if interval > 0 {
-			e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
+			runOpts := opts
+			runOpts.NoiseIntervalCycles = interval
+			ns = runOpts.noiseSpec(noise.UniformRandom)
 		}
-		setups := StandardSetups()
-		w := &workloads.Alltoall{MessageBytes: size, Iterations: 1}
-		res, err := e.measureSetups(job, setups, nil, w, runOpts.iters())
+		specs[i] = harness.TrialSpec{
+			ID:        fmt.Sprintf("noisesweep/interval%d", interval),
+			Geometry:  opts.pizDaintGeometry(),
+			Placement: alloc.GroupStriped,
+			JobNodes:  n,
+			Noise:     ns,
+			Setups:    StandardSetups,
+			Workload: func(ranks int) workloads.Workload {
+				return &workloads.Alltoall{MessageBytes: size, Iterations: 1}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
 		}
@@ -65,8 +73,8 @@ func NoiseSweep(opts Options) ([]*trace.Table, error) {
 		hm := stats.Median(res["HighBias"].Times)
 		am := stats.Median(res["AppAware"].Times)
 		label := "none"
-		if interval > 0 {
-			label = fmt.Sprintf("%d", interval)
+		if intervals[i] > 0 {
+			label = fmt.Sprintf("%d", intervals[i])
 		}
 		table.AddRow(label, dm, hm, am, hm/dm, am/dm,
 			res["AppAware"].SelectorStats.DefaultTrafficFraction()*100)
@@ -96,39 +104,55 @@ func HysteresisStudy(opts Options) ([]*trace.Table, error) {
 	if opts.Quick {
 		confirmations = []int{1, 4}
 	}
+	n := opts.Nodes / 2
+	if n < 8 {
+		n = 8
+	}
+
+	// One trial per (workload, confirmation level), all fanned out together.
+	var specs []harness.TrialSpec
+	for _, c := range cases {
+		for _, k := range confirmations {
+			k := k
+			build := c.build
+			specs = append(specs, harness.TrialSpec{
+				ID:        fmt.Sprintf("hysteresis/%s/k%d", c.label, k),
+				Meta:      k,
+				Geometry:  opts.pizDaintGeometry(),
+				Placement: alloc.GroupStriped,
+				JobNodes:  n,
+				Noise:     opts.noiseSpec(noise.UniformRandom),
+				Setups: singleSetup(func() RoutingSetup {
+					cfg := core.DefaultConfig()
+					cfg.SwitchConfirmations = k
+					return AppAwareSetup(cfg)
+				}),
+				Workload:   build,
+				Iterations: opts.iters(),
+			})
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
 
 	var tables []*trace.Table
-	for ci, c := range cases {
+	next := 0
+	for _, c := range cases {
 		table := trace.NewTable(
 			fmt.Sprintf("Extension: selector hysteresis on %s", c.label),
 			"switch confirmations", "median time (cycles)", "qcd", "mode switches", "% default traffic")
-		for ki, k := range confirmations {
-			e, err := newEnv(opts, opts.pizDaintGeometry(), 3000+int64(ci*100+ki))
+		for range confirmations {
+			r := results[next]
+			next++
+			res, err := measurements(r)
 			if err != nil {
 				return nil, err
 			}
-			n := opts.Nodes / 2
-			if n < 8 {
-				n = 8
-			}
-			if n > e.topo.NumNodes() {
-				n = e.topo.NumNodes()
-			}
-			job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-			if err != nil {
-				return nil, err
-			}
-			e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
-
-			cfg := core.DefaultConfig()
-			cfg.SwitchConfirmations = k
-			setup := AppAwareSetup(cfg)
-			m, err := e.measureSingle(job, setup, nil, c.build(job.Size()), opts.iters())
-			if err != nil {
-				return nil, err
-			}
-			st := setup.Stats()
-			table.AddRow(k, stats.Median(m.Times), stats.QCD(m.Times),
+			m := res["AppAware"]
+			st := m.SelectorStats
+			table.AddRow(r.Spec.Meta, stats.Median(m.Times), stats.QCD(m.Times),
 				st.Switches, st.DefaultTrafficFraction()*100)
 		}
 		tables = append(tables, table)

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/core"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/mpi"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/patternaware"
@@ -43,6 +45,22 @@ func PatternAwareSetup(cfg patternaware.Config) RoutingSetup {
 	}
 }
 
+// baselineSetups builds the four configurations of the baseline comparison.
+func baselineSetups() []RoutingSetup {
+	return []RoutingSetup{
+		DefaultSetup(),
+		HighBiasSetup(),
+		AppAwareSetup(core.DefaultConfig()),
+		PatternAwareSetup(patternaware.DefaultConfig()),
+	}
+}
+
+// schedTrialResult is the payload of one scheduler-interference trial.
+type schedTrialResult struct {
+	Res        map[string]*Measurement
+	SchedStats sched.Stats
+}
+
 // SchedulerInterference is an extension experiment: a measured halo3d job runs
 // while a batch scheduler churns a synthetic production mix around it, and the
 // measurement is repeated for every combination of scheduler placement policy
@@ -62,65 +80,83 @@ func SchedulerInterference(opts Options) ([]*trace.Table, error) {
 	if jobNodes < 8 {
 		jobNodes = 8
 	}
+	specs := make([]harness.TrialSpec, len(placements))
 	for pi, placement := range placements {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), 5_000+int64(pi))
-		if err != nil {
-			return nil, err
-		}
-		n := jobNodes
-		if n > e.topo.NumNodes()/2 {
-			n = e.topo.NumNodes() / 2
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return nil, err
-		}
+		placement := placement
+		specs[pi] = harness.TrialSpec{
+			ID:       "sched/" + placement.String(),
+			Meta:     placement.String(),
+			Geometry: opts.pizDaintGeometry(),
+			Body: func(ctx context.Context, e *harness.Env) (any, error) {
+				n := jobNodes
+				if n > e.Topo.NumNodes()/2 {
+					n = e.Topo.NumNodes() / 2
+				}
+				job, err := e.AllocateJob(alloc.GroupStriped, n)
+				if err != nil {
+					return nil, err
+				}
 
-		// The batch mix occupies the rest of the machine for the whole run.
-		s := sched.New(e.fabric, sched.Config{Placement: placement, Backfill: true, Seed: opts.Seed + int64(pi)})
-		s.Reserve(job.Nodes())
-		mixCfg := sched.DefaultMixConfig()
-		mixCfg.Seed = opts.Seed + 17
-		mixCfg.Jobs = 24
-		if opts.Quick {
-			mixCfg.Jobs = 8
-			mixCfg.IntervalCycles *= 3
-		}
-		mixCfg.MaxNodes = e.topo.NumNodes() / 4
-		mixCfg.MinDurationCycles = 2_000_000
-		mixCfg.MaxDurationCycles = 20_000_000
-		specs, err := sched.GenerateMix(mixCfg, e.topo.NumNodes()-job.Size())
-		if err != nil {
-			return nil, err
-		}
-		for _, spec := range specs {
-			if _, err := s.Submit(spec); err != nil {
-				return nil, err
-			}
-		}
-		s.Start()
+				// The batch mix occupies the rest of the machine for the whole
+				// run. Its spec is seeded from the suite seed — NOT the trial
+				// seed — so every placement policy faces the same job mix and
+				// the rows differ only by placement.
+				s := sched.New(e.Fabric, sched.Config{Placement: placement, Backfill: true, Seed: e.Seed})
+				s.Reserve(job.Nodes())
+				mixCfg := sched.DefaultMixConfig()
+				mixCfg.Seed = opts.Seed + 17
+				mixCfg.Jobs = 24
+				if opts.Quick {
+					mixCfg.Jobs = 8
+					mixCfg.IntervalCycles *= 3
+				}
+				mixCfg.MaxNodes = e.Topo.NumNodes() / 4
+				mixCfg.MinDurationCycles = 2_000_000
+				mixCfg.MaxDurationCycles = 20_000_000
+				mixSpecs, err := sched.GenerateMix(mixCfg, e.Topo.NumNodes()-job.Size())
+				if err != nil {
+					return nil, err
+				}
+				for _, spec := range mixSpecs {
+					if _, err := s.Submit(spec); err != nil {
+						return nil, err
+					}
+				}
+				s.Start()
 
-		w := workloads.NewHalo3D(job.Size(), opts.scaleSize(256), 2)
-		setups := StandardSetups()
-		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
-		if err != nil {
-			return nil, fmt.Errorf("placement %s: %w", placement, err)
+				w := workloads.NewHalo3D(job.Size(), opts.scaleSize(256), 2)
+				res, err := e.MeasureSetups(ctx, job, StandardSetups(), nil, w, opts.iters())
+				if err != nil {
+					return nil, err
+				}
+				return schedTrialResult{Res: res, SchedStats: s.Stats()}, nil
+			},
 		}
-		defMedian := stats.Median(res["Default"].Times)
-		schedStats := s.Stats()
-		for _, setup := range setups {
-			m := res[setup.Name]
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	setupNames := namesOf(StandardSetups())
+	for _, r := range results {
+		tr, ok := r.Value.(schedTrialResult)
+		if !ok {
+			return nil, fmt.Errorf("experiments: sched trial %q returned %T", r.Spec.ID, r.Value)
+		}
+		defMedian := stats.Median(tr.Res["Default"].Times)
+		for _, name := range setupNames {
+			m := tr.Res[name]
 			med := stats.Median(m.Times)
 			norm := 0.0
 			if defMedian > 0 {
 				norm = med / defMedian
 			}
 			pct := 0.0
-			if setup.Name == "AppAware" {
+			if name == "AppAware" {
 				pct = m.SelectorStats.DefaultTrafficFraction() * 100
 			}
-			table.AddRow(placement.String(), setup.Name, med, norm, stats.QCD(m.Times),
-				pct, schedStats.Finished, schedStats.MeanGroupsSpanned)
+			table.AddRow(r.Spec.Meta, name, med, norm, stats.QCD(m.Times),
+				pct, tr.SchedStats.Finished, tr.SchedStats.MeanGroupsSpanned)
 		}
 	}
 	return []*trace.Table{table}, nil
@@ -146,52 +182,52 @@ func BaselineComparison(opts Options) ([]*trace.Table, error) {
 	if opts.Quick {
 		cases = cases[:2]
 	}
+	specs := make([]harness.TrialSpec, len(cases))
+	for i, c := range cases {
+		build := c.build
+		specs[i] = harness.TrialSpec{
+			ID:        "baselines/" + c.label,
+			Meta:      c.label,
+			Geometry:  opts.pizDaintGeometry(),
+			Placement: alloc.GroupStriped,
+			JobNodes:  opts.Nodes,
+			Noise:     opts.noiseSpec(noise.UniformRandom),
+			Setups:    baselineSetups,
+			Workload: func(ranks int) workloads.Workload {
+				return build(ranks, opts)
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
 	table := trace.NewTable(
 		fmt.Sprintf("Selector baselines: AppAware (paper) vs PatternAware (related work) vs static, %d nodes", opts.Nodes),
 		"benchmark", "setup", "median (cycles)", "norm median", "qcd", "% default traffic")
-
-	for i, c := range cases {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), 6_000+int64(i))
+	setupNames := namesOf(baselineSetups())
+	for _, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
-		}
-		n := opts.Nodes
-		if n > e.topo.NumNodes() {
-			n = e.topo.NumNodes()
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return nil, err
-		}
-		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
-
-		setups := []RoutingSetup{
-			DefaultSetup(),
-			HighBiasSetup(),
-			AppAwareSetup(core.DefaultConfig()),
-			PatternAwareSetup(patternaware.DefaultConfig()),
-		}
-		w := c.build(job.Size(), opts)
-		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.label, err)
 		}
 		defMedian := stats.Median(res["Default"].Times)
-		for _, setup := range setups {
-			m := res[setup.Name]
+		for _, name := range setupNames {
+			m := res[name]
 			med := stats.Median(m.Times)
 			norm := 0.0
 			if defMedian > 0 {
 				norm = med / defMedian
 			}
 			pct := m.SelectorStats.DefaultTrafficFraction() * 100
-			if setup.Name == "Default" {
+			if name == "Default" {
 				pct = 100
 			}
-			if setup.Name == "HighBias" {
+			if name == "HighBias" {
 				pct = 0
 			}
-			table.AddRow(c.label, setup.Name, med, norm, stats.QCD(m.Times), pct)
+			table.AddRow(r.Spec.Meta, name, med, norm, stats.QCD(m.Times), pct)
 		}
 	}
 	return []*trace.Table{table}, nil
@@ -222,31 +258,35 @@ func CollectiveAlgorithms(opts Options) ([]*trace.Table, error) {
 			body  func(r *mpi.Rank)
 		}{algos[0], algos[1], algos[3], algos[4]}
 	}
+	specs := make([]harness.TrialSpec, len(algos))
+	for i, a := range algos {
+		a := a
+		specs[i] = harness.TrialSpec{
+			ID:        "collalgos/" + a.label,
+			Meta:      a.label,
+			Geometry:  opts.pizDaintGeometry(),
+			Placement: alloc.GroupStriped,
+			JobNodes:  opts.Nodes,
+			Noise:     opts.noiseSpec(noise.UniformRandom),
+			Setups:    StandardSetups,
+			Workload: func(ranks int) workloads.Workload {
+				return workloads.Func{WorkloadName: a.label, Body: a.body}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
 	table := trace.NewTable(
 		fmt.Sprintf("Collective algorithm ablation, %d nodes, %d-byte blocks", opts.Nodes, size),
 		"algorithm", "default median", "highbias norm median", "appaware norm median",
 		"appaware % default traffic", "best static")
-
-	for i, a := range algos {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), 7_000+int64(i))
+	for _, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
-		}
-		n := opts.Nodes
-		if n > e.topo.NumNodes() {
-			n = e.topo.NumNodes()
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return nil, err
-		}
-		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
-
-		setups := StandardSetups()
-		w := workloads.Func{WorkloadName: a.label, Body: a.body}
-		res, err := e.measureSetups(job, setups, nil, w, opts.iters())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", a.label, err)
 		}
 		defMedian := stats.Median(res["Default"].Times)
 		hbMedian := stats.Median(res["HighBias"].Times)
@@ -261,10 +301,23 @@ func CollectiveAlgorithms(opts Options) ([]*trace.Table, error) {
 		if hbMedian < defMedian {
 			best = "HighBias"
 		}
-		table.AddRow(a.label, defMedian, norm(hbMedian), norm(aaMedian),
+		table.AddRow(r.Spec.Meta, defMedian, norm(hbMedian), norm(aaMedian),
 			res["AppAware"].SelectorStats.DefaultTrafficFraction()*100, best)
 	}
 	return []*trace.Table{table}, nil
+}
+
+// telemetryTrialResult is the payload of one telemetry-congestion trial.
+type telemetryTrialResult struct {
+	Samples          int
+	MeanMaxUtil      float64
+	PeakMaxUtil      float64
+	HotspotIntervals int
+	GlobalFlits      uint64
+	IntraGroupFlits  uint64
+	MeanStall        float64
+	MeanLatency      float64
+	GroupMatrix      [][]uint64
 }
 
 // TelemetryCongestion is an extension experiment: it runs an alltoall under an
@@ -276,65 +329,97 @@ func CollectiveAlgorithms(opts Options) ([]*trace.Table, error) {
 // resources of groups the job does not even use.
 func TelemetryCongestion(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
+	setups := []struct {
+		name  string
+		build func() RoutingSetup
+	}{
+		{"Default", DefaultSetup},
+		{"HighBias", HighBiasSetup},
+	}
+	specs := make([]harness.TrialSpec, len(setups))
+	for si, s := range setups {
+		build := s.build
+		specs[si] = harness.TrialSpec{
+			ID:       "telemetry/" + s.name,
+			Meta:     s.name,
+			Geometry: opts.pizDaintGeometry(),
+			Body: func(ctx context.Context, e *harness.Env) (any, error) {
+				n := opts.Nodes / 2
+				if n < 8 {
+					n = 8
+				}
+				if n > e.Topo.NumNodes()/2 {
+					n = e.Topo.NumNodes() / 2
+				}
+				job, err := e.AllocateJob(alloc.GroupStriped, n)
+				if err != nil {
+					return nil, err
+				}
+				e.StartNoise(*opts.noiseSpec(noise.AlltoallBully), job)
+
+				col := telemetry.MustNewCollector(e.Fabric, telemetry.Config{
+					IntervalCycles:   50_000,
+					TopLinks:         3,
+					TrackGroupMatrix: true,
+				})
+				col.Start(harness.DefaultHorizon)
+
+				w := &workloads.Alltoall{MessageBytes: opts.scaleSize(16 << 10), Iterations: 1}
+				iters := opts.iters()
+				if iters > 10 {
+					iters = 10
+				}
+				if _, err := e.MeasureSingle(ctx, job, build(), nil, w, iters); err != nil {
+					return nil, err
+				}
+				col.Stop()
+				col.Flush()
+
+				maxUtil, _ := col.Series("max-util")
+				stall, _ := col.Series("stall-ratio")
+				lat, _ := col.Series("packet-latency")
+				var globalFlits, intraGroupFlits uint64
+				for _, s := range col.Samples() {
+					globalFlits += s.Tiers[topo.LinkGlobal].Flits
+					intraGroupFlits += s.Tiers[topo.LinkIntraGroup].Flits
+				}
+				return telemetryTrialResult{
+					Samples:          len(col.Samples()),
+					MeanMaxUtil:      stats.Mean(maxUtil),
+					PeakMaxUtil:      stats.Max(maxUtil),
+					HotspotIntervals: len(col.HotspotIntervals(0.8)),
+					GlobalFlits:      globalFlits,
+					IntraGroupFlits:  intraGroupFlits,
+					MeanStall:        stats.Mean(stall),
+					MeanLatency:      stats.Mean(lat),
+					GroupMatrix:      col.AggregateGroupMatrix(),
+				}, nil
+			},
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+
 	summary := trace.NewTable(
 		fmt.Sprintf("Telemetry: alltoall/16KiB with a bully job, %d nodes", opts.Nodes/2),
 		"routing", "samples", "mean max-util", "peak max-util",
 		"hotspot intervals (>=80%)", "global flits", "intra-group flits",
 		"mean stall ratio", "mean packet latency")
-
 	var matrices []*trace.Table
-	for si, setup := range []RoutingSetup{DefaultSetup(), HighBiasSetup()} {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), 8_000+int64(si))
-		if err != nil {
-			return nil, err
+	for _, r := range results {
+		tr, ok := r.Value.(telemetryTrialResult)
+		if !ok {
+			return nil, fmt.Errorf("experiments: telemetry trial %q returned %T", r.Spec.ID, r.Value)
 		}
-		n := opts.Nodes / 2
-		if n < 8 {
-			n = 8
-		}
-		if n > e.topo.NumNodes()/2 {
-			n = e.topo.NumNodes() / 2
-		}
-		job, err := alloc.Allocate(e.topo, alloc.GroupStriped, n, e.rng, nil)
-		if err != nil {
-			return nil, err
-		}
-		e.startBackgroundNoise(alloc.ExcludeSet(job), noise.AlltoallBully, noiseHorizon)
+		summary.AddRow(r.Spec.Meta, tr.Samples,
+			tr.MeanMaxUtil, tr.PeakMaxUtil,
+			tr.HotspotIntervals, tr.GlobalFlits, tr.IntraGroupFlits,
+			tr.MeanStall, tr.MeanLatency)
 
-		col := telemetry.MustNewCollector(e.fabric, telemetry.Config{
-			IntervalCycles:   50_000,
-			TopLinks:         3,
-			TrackGroupMatrix: true,
-		})
-		col.Start(noiseHorizon)
-
-		w := &workloads.Alltoall{MessageBytes: opts.scaleSize(16 << 10), Iterations: 1}
-		iters := opts.iters()
-		if iters > 10 {
-			iters = 10
-		}
-		if _, err := e.measureSingle(job, setup, nil, w, iters); err != nil {
-			return nil, fmt.Errorf("telemetry under %s: %w", setup.Name, err)
-		}
-		col.Stop()
-		col.Flush()
-
-		maxUtil, _ := col.Series("max-util")
-		stall, _ := col.Series("stall-ratio")
-		lat, _ := col.Series("packet-latency")
-		var globalFlits, intraGroupFlits uint64
-		for _, s := range col.Samples() {
-			globalFlits += s.Tiers[topo.LinkGlobal].Flits
-			intraGroupFlits += s.Tiers[topo.LinkIntraGroup].Flits
-		}
-		summary.AddRow(setup.Name, len(col.Samples()),
-			stats.Mean(maxUtil), stats.Max(maxUtil),
-			len(col.HotspotIntervals(0.8)), globalFlits, intraGroupFlits,
-			stats.Mean(stall), stats.Mean(lat))
-
-		m := col.AggregateGroupMatrix()
-		mt := trace.NewTable(fmt.Sprintf("Group-to-group flits under %s routing", setup.Name), "src\\dst", "row")
-		for i, row := range m {
+		mt := trace.NewTable(fmt.Sprintf("Group-to-group flits under %s routing", r.Spec.Meta), "src\\dst", "row")
+		for i, row := range tr.GroupMatrix {
 			mt.AddRow(fmt.Sprintf("g%d", i), fmt.Sprint(row))
 		}
 		matrices = append(matrices, mt)

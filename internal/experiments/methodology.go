@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/counters"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/perfmodel"
 	"dragonfly/internal/stats"
@@ -28,25 +30,41 @@ func Figure3Allocations(opts Options) ([]*trace.Table, error) {
 	classes := []topo.AllocationClass{
 		topo.AllocInterNodes, topo.AllocInterBlades, topo.AllocInterChassis, topo.AllocInterGroups,
 	}
+	specs := make([]harness.TrialSpec, len(classes))
 	for i, class := range classes {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), int64(i))
+		specs[i] = harness.TrialSpec{
+			ID:        "fig3/" + class.String(),
+			Geometry:  opts.pizDaintGeometry(),
+			PairAlloc: true,
+			PairClass: class,
+			Noise:     opts.noiseSpec(noise.UniformRandom),
+			Setups:    singleSetup(DefaultSetup),
+			Workload: func(ranks int) workloads.Workload {
+				return &workloads.PingPong{MessageBytes: msgSize, Iterations: 1}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
 		}
-		a, b, err := alloc.PairForClass(e.topo, class)
-		if err != nil {
-			return nil, err
-		}
-		pair := alloc.NewAllocation(e.topo, []topo.NodeID{a, b})
-		e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
-		w := &workloads.PingPong{MessageBytes: msgSize, Iterations: 1}
-		m, err := e.measureSingle(pair, DefaultSetup(), nil, w, opts.iters())
-		if err != nil {
-			return nil, err
-		}
-		summaryRow(table, class.String(), m.Times, stats.Max(m.Times))
+		m := res["Default"]
+		summaryRow(table, classes[i].String(), m.Times, stats.Max(m.Times))
 	}
 	return []*trace.Table{table}, nil
+}
+
+// idleObservation is one row of the Table 1 trial: how much traffic the idle
+// job's routers saw over one observation window.
+type idleObservation struct {
+	Mult, IdleCycles     int64
+	Flits, StalledCycles uint64
 }
 
 // Table1IdleFlits reproduces Table 1: an application that only sleeps observes
@@ -56,37 +74,58 @@ func Figure3Allocations(opts Options) ([]*trace.Table, error) {
 // causation.
 func Table1IdleFlits(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
-	e, err := newEnv(opts, opts.pizDaintGeometry(), 101)
-	if err != nil {
-		return nil, err
-	}
-	// The idle job: 16 nodes (or fewer on tiny systems), as in the paper.
-	jobNodes := 16
-	if jobNodes > e.topo.NumNodes()/2 {
-		jobNodes = e.topo.NumNodes() / 2
-	}
-	job, err := alloc.Allocate(e.topo, alloc.Contiguous, jobNodes, nil, nil)
-	if err != nil {
-		return nil, err
-	}
-	e.startBackgroundNoise(alloc.ExcludeSet(job), noise.UniformRandom, noiseHorizon)
-
 	baseIdle := int64(2_000_000) // "1 second" of simulated idling, scaled
 	if opts.Quick {
 		baseIdle = 400_000
 	}
+	spec := harness.TrialSpec{
+		ID:       "tab1/idle",
+		Geometry: opts.pizDaintGeometry(),
+		Body: func(ctx context.Context, e *harness.Env) (any, error) {
+			// The idle job: 16 nodes (or fewer on tiny systems), as in the
+			// paper, placed contiguously and deterministically (nil RNG).
+			jobNodes := 16
+			if jobNodes > e.Topo.NumNodes()/2 {
+				jobNodes = e.Topo.NumNodes() / 2
+			}
+			job, err := alloc.Allocate(e.Topo, alloc.Contiguous, jobNodes, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			e.StartNoise(*opts.noiseSpec(noise.UniformRandom), job)
+			routers := job.Routers()
+			var rows []idleObservation
+			for _, mult := range []int64{1, 2} {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				beforeFlits, beforeStalls := e.Fabric.IncomingFlits(routers)
+				deadline := e.Engine.Now() + baseIdle*mult
+				if err := e.Engine.RunUntil(deadline); err != nil {
+					return nil, err
+				}
+				afterFlits, afterStalls := e.Fabric.IncomingFlits(routers)
+				rows = append(rows, idleObservation{
+					Mult: mult, IdleCycles: baseIdle * mult,
+					Flits: afterFlits - beforeFlits, StalledCycles: afterStalls - beforeStalls,
+				})
+			}
+			return rows, nil
+		},
+	}
+	results, err := opts.runTrials([]harness.TrialSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	rows, ok := results[0].Value.([]idleObservation)
+	if !ok {
+		return nil, fmt.Errorf("experiments: tab1 trial returned %T", results[0].Value)
+	}
 	table := trace.NewTable(
 		"Table 1: idle time vs observed router-tile traffic",
 		"idle (units)", "idle (cycles)", "incoming flits", "stalled cycles")
-	routers := job.Routers()
-	for _, mult := range []int64{1, 2} {
-		beforeFlits, beforeStalls := e.fabric.IncomingFlits(routers)
-		deadline := e.engine.Now() + baseIdle*mult
-		if err := e.engine.RunUntil(deadline); err != nil {
-			return nil, err
-		}
-		afterFlits, afterStalls := e.fabric.IncomingFlits(routers)
-		table.AddRow(mult, baseIdle*mult, afterFlits-beforeFlits, afterStalls-beforeStalls)
+	for _, row := range rows {
+		table.AddRow(row.Mult, row.IdleCycles, row.Flits, row.StalledCycles)
 	}
 	return []*trace.Table{table}, nil
 }
@@ -97,33 +136,45 @@ func Table1IdleFlits(opts Options) ([]*trace.Table, error) {
 // not be read as network noise.
 func Figure4OnNodeAlltoall(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
-	e, err := newEnv(opts, opts.pizDaintGeometry(), 202)
+	// Eight ranks pinned to the same node: every transfer is a loopback copy.
+	onNode := make([]topo.NodeID, 8)
+	sizes := []int64{64, 1 << 10, 16 << 10, 128 << 10}
+	specs := make([]harness.TrialSpec, len(sizes))
+	for i, base := range sizes {
+		size := opts.scaleSize(base)
+		specs[i] = harness.TrialSpec{
+			ID:         fmt.Sprintf("fig4/size%d", base),
+			Meta:       size,
+			Geometry:   opts.pizDaintGeometry(),
+			FixedNodes: onNode,
+			Setups:     singleSetup(DefaultSetup),
+			HostNoise: func() func(int) int64 {
+				return noise.MustNewHostNoise(noise.DefaultHostNoiseConfig()).Sampler()
+			},
+			Workload: func(ranks int) workloads.Workload {
+				return &workloads.Alltoall{MessageBytes: size, Iterations: 1}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
 	if err != nil {
 		return nil, err
 	}
-	// Eight ranks pinned to the same node: every transfer is a loopback copy.
-	nodes := make([]topo.NodeID, 8)
-	for i := range nodes {
-		nodes[i] = 0
-	}
-	a := alloc.NewAllocation(e.topo, nodes)
-	host := noise.MustNewHostNoise(noise.DefaultHostNoiseConfig())
-
 	table := trace.NewTable(
 		"Figure 4: on-node alltoall (8 ranks, one node) execution time vs size (cycles)",
 		summaryColumns("message size (B)", "nic packets")...)
-	for _, size := range []int64{64, 1 << 10, 16 << 10, 128 << 10} {
-		size = opts.scaleSize(size)
-		w := &workloads.Alltoall{MessageBytes: size, Iterations: 1}
-		m, err := e.measureSingle(a, DefaultSetup(), host.Sampler(), w, opts.iters())
+	for _, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
 		}
+		m := res["Default"]
 		var packets uint64
 		for _, d := range m.Deltas {
 			packets += d.RequestPackets
 		}
-		summaryRow(table, fmt.Sprintf("%d", size), m.Times, packets)
+		summaryRow(table, fmt.Sprintf("%d", r.Spec.Meta), m.Times, packets)
 	}
 	return []*trace.Table{table}, nil
 }
@@ -134,38 +185,48 @@ func Figure4OnNodeAlltoall(opts Options) ([]*trace.Table, error) {
 // two converge as the message size grows.
 func Figure5QCD(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
-	e, err := newEnv(opts, opts.pizDaintGeometry(), 303)
-	if err != nil {
-		return nil, err
-	}
-	src, dst, err := alloc.PairForClass(e.topo, topo.AllocInterGroups)
-	if err != nil {
-		return nil, err
-	}
-	pair := alloc.NewAllocation(e.topo, []topo.NodeID{src, dst})
-	e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
-	host := noise.MustNewHostNoise(noise.DefaultHostNoiseConfig())
-
-	table := trace.NewTable(
-		"Figure 5: QCD of execution time vs QCD of packet latency (inter-group ping-pong)",
-		"message size (B)", "qcd exec time", "qcd packet latency", "median exec (cycles)", "median latency (cycles)")
-
 	sizes := []int64{128, 1 << 10, 16 << 10, 128 << 10, 1 << 20}
 	if opts.Quick {
 		sizes = sizes[:3]
 	}
-	for _, base := range sizes {
+	specs := make([]harness.TrialSpec, len(sizes))
+	for i, base := range sizes {
 		size := opts.scaleSize(base)
-		w := &workloads.PingPong{MessageBytes: size, Iterations: 1}
-		m, err := e.measureSingle(pair, DefaultSetup(), host.Sampler(), w, opts.iters())
+		specs[i] = harness.TrialSpec{
+			ID:        fmt.Sprintf("fig5/size%d", base),
+			Meta:      size,
+			Geometry:  opts.pizDaintGeometry(),
+			PairAlloc: true,
+			PairClass: topo.AllocInterGroups,
+			Noise:     opts.noiseSpec(noise.UniformRandom),
+			Setups:    singleSetup(DefaultSetup),
+			HostNoise: func() func(int) int64 {
+				return noise.MustNewHostNoise(noise.DefaultHostNoiseConfig()).Sampler()
+			},
+			Workload: func(ranks int) workloads.Workload {
+				return &workloads.PingPong{MessageBytes: size, Iterations: 1}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	table := trace.NewTable(
+		"Figure 5: QCD of execution time vs QCD of packet latency (inter-group ping-pong)",
+		"message size (B)", "qcd exec time", "qcd packet latency", "median exec (cycles)", "median latency (cycles)")
+	for _, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
 		}
+		m := res["Default"]
 		latencies := make([]float64, 0, len(m.Deltas))
 		for _, d := range m.Deltas {
 			latencies = append(latencies, d.AvgPacketLatency())
 		}
-		table.AddRow(fmt.Sprintf("%d", size),
+		table.AddRow(fmt.Sprintf("%d", r.Spec.Meta),
 			stats.QCD(m.Times), stats.QCD(latencies),
 			stats.Median(m.Times), stats.Median(latencies))
 	}
@@ -178,10 +239,6 @@ func Figure5QCD(opts Options) ([]*trace.Table, error) {
 // time (the paper reports an average correlation of 79%).
 func ModelValidation(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
-	table := trace.NewTable(
-		"Performance model validation (Eq. 2 estimate vs measured ping-pong time)",
-		"message size (B)", "pearson correlation", "samples")
-
 	sizes := []int64{128, 4 << 10, 64 << 10, 512 << 10}
 	if opts.Quick {
 		sizes = sizes[:3]
@@ -190,29 +247,49 @@ func ModelValidation(opts Options) ([]*trace.Table, error) {
 	if opts.Quick {
 		allocsPerSize = 3
 	}
+	classes := []topo.AllocationClass{
+		topo.AllocInterBlades, topo.AllocInterChassis, topo.AllocInterGroups,
+	}
+
+	var specs []harness.TrialSpec
+	for _, base := range sizes {
+		size := opts.scaleSize(base)
+		for run := 0; run < allocsPerSize; run++ {
+			specs = append(specs, harness.TrialSpec{
+				ID:        fmt.Sprintf("model/size%d/run%d", base, run),
+				Meta:      size,
+				Geometry:  opts.pizDaintGeometry(),
+				PairAlloc: true,
+				PairClass: classes[run%len(classes)],
+				Noise:     opts.noiseSpec(noise.UniformRandom),
+				Setups:    singleSetup(DefaultSetup),
+				Workload: func(ranks int) workloads.Workload {
+					return &workloads.PingPong{MessageBytes: size, Iterations: 1}
+				},
+				Iterations: opts.iters(),
+			})
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	table := trace.NewTable(
+		"Performance model validation (Eq. 2 estimate vs measured ping-pong time)",
+		"message size (B)", "pearson correlation", "samples")
 	var all []float64
+	next := 0
 	for _, base := range sizes {
 		size := opts.scaleSize(base)
 		var measured, estimated []float64
 		for run := 0; run < allocsPerSize; run++ {
-			e, err := newEnv(opts, opts.pizDaintGeometry(), 400+int64(run))
+			res, err := measurements(results[next])
 			if err != nil {
 				return nil, err
 			}
-			class := []topo.AllocationClass{
-				topo.AllocInterBlades, topo.AllocInterChassis, topo.AllocInterGroups,
-			}[run%3]
-			src, dst, err := alloc.PairForClass(e.topo, class)
-			if err != nil {
-				return nil, err
-			}
-			pair := alloc.NewAllocation(e.topo, []topo.NodeID{src, dst})
-			e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
-			w := &workloads.PingPong{MessageBytes: size, Iterations: 1}
-			m, err := e.measureSingle(pair, DefaultSetup(), nil, w, opts.iters())
-			if err != nil {
-				return nil, err
-			}
+			next++
+			m := res["Default"]
 			for i, d := range m.Deltas {
 				// The delta covers a full round trip (two messages); halve it
 				// to approximate one transmission, matching T_msg.

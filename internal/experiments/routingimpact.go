@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"dragonfly/internal/alloc"
+	"dragonfly/internal/harness"
 	"dragonfly/internal/mpi"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/perfmodel"
@@ -44,30 +44,42 @@ func Figure7RoutingPingPong(opts Options) ([]*trace.Table, error) {
 		{"Intra-Group", topo.AllocInterChassis},
 		{"Inter-Groups", topo.AllocInterGroups},
 	}
-	modes := []RoutingSetup{
-		{Name: "Adaptive", Provider: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.Adaptive} }},
-		{Name: "HighBias", Provider: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.AdaptiveHighBias} }},
+	staticModes := func() []RoutingSetup {
+		return []RoutingSetup{
+			{Name: "Adaptive", Provider: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.Adaptive} }},
+			{Name: "HighBias", Provider: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.AdaptiveHighBias} }},
+		}
 	}
-	for ci, c := range cases {
-		e, err := newEnv(opts, opts.pizDaintGeometry(), 700+int64(ci))
-		if err != nil {
-			return nil, err
-		}
-		src, dst, err := alloc.PairForClass(e.topo, c.class)
-		if err != nil {
-			return nil, err
-		}
-		pair := alloc.NewAllocation(e.topo, []topo.NodeID{src, dst})
-		e.startBackgroundNoise(alloc.ExcludeSet(pair), noise.UniformRandom, noiseHorizon)
+	modeNames := []string{"Adaptive", "HighBias"}
 
-		w := &workloads.PingPong{MessageBytes: msgSize, Iterations: 1}
-		res, err := e.measureSetups(pair, modes, nil, w, opts.iters())
+	specs := make([]harness.TrialSpec, len(cases))
+	for i, c := range cases {
+		specs[i] = harness.TrialSpec{
+			ID:        "fig7/" + c.label,
+			Meta:      c.label,
+			Geometry:  opts.pizDaintGeometry(),
+			PairAlloc: true,
+			PairClass: c.class,
+			Noise:     opts.noiseSpec(noise.UniformRandom),
+			Setups:    staticModes,
+			Workload: func(ranks int) workloads.Workload {
+				return &workloads.PingPong{MessageBytes: msgSize, Iterations: 1}
+			},
+			Iterations: opts.iters(),
+		}
+	}
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		res, err := measurements(r)
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range modes {
-			meas := res[m.Name]
-			label := c.label + "/" + m.Name
+		for _, name := range modeNames {
+			meas := res[name]
+			label := fmt.Sprintf("%s/%s", r.Spec.Meta, name)
 			var stallsSeries, latSeries, estSeries []float64
 			for _, d := range meas.Deltas {
 				half := halveDelta(d)

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/counters"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/network"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+	"dragonfly/internal/workloads"
+)
+
+// Env is the private simulated system of one trial: topology, event engine,
+// fabric and allocation RNG, all seeded from the trial seed. An Env is built
+// fresh per trial and never shared, so everything on it may be used without
+// synchronization inside the trial body.
+type Env struct {
+	// Spec is the declaration this environment was built from.
+	Spec TrialSpec
+	// Seed is the derived trial seed (see TrialSeed).
+	Seed int64
+	// Topo is the constructed topology.
+	Topo *topo.Topology
+	// Engine is the trial's discrete-event engine.
+	Engine *sim.Engine
+	// Fabric is the simulated network.
+	Fabric *network.Fabric
+	// Rng drives allocation placement and other trial-local choices.
+	Rng *rand.Rand
+}
+
+// NewEnv builds the simulated system a trial runs on.
+func NewEnv(spec TrialSpec, seed int64) (*Env, error) {
+	t, err := topo.New(spec.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	params := routing.DefaultParams()
+	if spec.RoutingParams != nil {
+		params = *spec.RoutingParams
+	}
+	pol, err := routing.NewPolicy(t, params)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(seed)
+	ncfg := network.DefaultConfig()
+	if spec.Network != nil {
+		ncfg = *spec.Network
+	}
+	fab, err := network.New(engine, t, pol, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Spec:   spec,
+		Seed:   seed,
+		Topo:   t,
+		Engine: engine,
+		Fabric: fab,
+		Rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// AllocateJob places an n-node job with the given policy, capping n at the
+// machine size.
+func (e *Env) AllocateJob(policy alloc.Policy, n int) (*alloc.Allocation, error) {
+	if n > e.Topo.NumNodes() {
+		n = e.Topo.NumNodes()
+	}
+	return alloc.Allocate(e.Topo, policy, n, e.Rng, nil)
+}
+
+// AllocatePair returns a two-node allocation of the given topological class.
+func (e *Env) AllocatePair(class topo.AllocationClass) (*alloc.Allocation, error) {
+	a, b, err := alloc.PairForClass(e.Topo, class)
+	if err != nil {
+		return nil, err
+	}
+	return alloc.NewAllocation(e.Topo, []topo.NodeID{a, b}), nil
+}
+
+// StartNoise places a background job on nodes disjoint from the excluded
+// allocations and starts it until DefaultHorizon. It returns nil when there
+// is not enough room for a background job (small test topologies).
+func (e *Env) StartNoise(spec NoiseSpec, exclude ...*alloc.Allocation) *noise.Generator {
+	used := alloc.ExcludeSet(exclude...)
+	n := spec.Nodes
+	if free := e.Topo.NumNodes() - len(used); n > free {
+		n = free
+	}
+	if n < 2 {
+		return nil
+	}
+	a, err := alloc.Allocate(e.Topo, alloc.RandomScatter, n, e.Rng, used)
+	if err != nil {
+		return nil
+	}
+	cfg := noise.DefaultGeneratorConfig()
+	cfg.Pattern = spec.Pattern
+	if spec.IntervalCycles > 0 {
+		cfg.IntervalCycles = spec.IntervalCycles
+	}
+	if spec.MessageBytes > 0 {
+		cfg.MessageBytes = spec.MessageBytes
+	}
+	cfg.Seed = int64(mix64(uint64(e.Seed)) ^ uint64(spec.Pattern))
+	g, err := noise.FromAllocation(e.Fabric, a, cfg)
+	if err != nil {
+		return nil
+	}
+	g.Start(DefaultHorizon)
+	return g
+}
+
+// JobCounters sums the NIC counters of all nodes of an allocation.
+func JobCounters(f *network.Fabric, a *alloc.Allocation) counters.NIC {
+	var total counters.NIC
+	for _, n := range a.Nodes() {
+		total.Add(f.NodeCounters(n))
+	}
+	return total
+}
+
+// MeasureSetups runs the workload under every routing setup, alternating the
+// setups on successive iterations (as the paper does, so that transient noise
+// does not penalize a single configuration), and returns one Measurement per
+// setup keyed by name. The context is checked between iterations so a
+// cancelled suite stops mid-measurement.
+func (e *Env) MeasureSetups(ctx context.Context, a *alloc.Allocation, setups []RoutingSetup,
+	hostNoise func(int) int64, w workloads.Workload, iterations int) (Measurements, error) {
+
+	comms := make([]*mpi.Comm, len(setups))
+	for i, s := range setups {
+		c, err := mpi.NewComm(e.Fabric, a, mpi.Config{Routing: s.Provider, HostNoise: hostNoise})
+		if err != nil {
+			return nil, err
+		}
+		comms[i] = c
+	}
+	out := make(Measurements, len(setups))
+	for _, s := range setups {
+		out[s.Name] = &Measurement{}
+	}
+	for iter := 0; iter < iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cancelled at iteration %d: %w", iter, err)
+		}
+		for i, s := range setups {
+			before := JobCounters(e.Fabric, a)
+			start := e.Engine.Now()
+			if err := comms[i].Run(w.Run); err != nil {
+				return nil, fmt.Errorf("iteration %d, setup %s: %w", iter, s.Name, err)
+			}
+			for r := 0; r < comms[i].Size(); r++ {
+				if err := comms[i].Rank(r).Err(); err != nil {
+					return nil, fmt.Errorf("setup %s rank %d: %w", s.Name, r, err)
+				}
+			}
+			elapsed := float64(e.Engine.Now() - start)
+			m := out[s.Name]
+			m.Times = append(m.Times, elapsed)
+			m.Deltas = append(m.Deltas, JobCounters(e.Fabric, a).Sub(before))
+		}
+	}
+	for _, s := range setups {
+		if s.Stats != nil {
+			out[s.Name].SelectorStats = s.Stats()
+		}
+	}
+	return out, nil
+}
+
+// MeasureSingle is a convenience wrapper measuring a single routing setup.
+func (e *Env) MeasureSingle(ctx context.Context, a *alloc.Allocation, setup RoutingSetup,
+	hostNoise func(int) int64, w workloads.Workload, iterations int) (*Measurement, error) {
+	res, err := e.MeasureSetups(ctx, a, []RoutingSetup{setup}, hostNoise, w, iterations)
+	if err != nil {
+		return nil, err
+	}
+	return res[setup.Name], nil
+}
+
+// runDeclarative is the default trial body: allocate the job as declared,
+// start the background noise, and measure every setup on the workload.
+func runDeclarative(ctx context.Context, e *Env) (any, error) {
+	spec := e.Spec
+	if spec.Workload == nil || spec.Setups == nil {
+		return nil, fmt.Errorf("declarative spec incomplete: need Workload and Setups (or a Body)")
+	}
+	var job *alloc.Allocation
+	var err error
+	switch {
+	case len(spec.FixedNodes) > 0:
+		job = alloc.NewAllocation(e.Topo, spec.FixedNodes)
+	case spec.PairAlloc:
+		job, err = e.AllocatePair(spec.PairClass)
+	default:
+		job, err = e.AllocateJob(spec.Placement, spec.JobNodes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if spec.Noise != nil {
+		e.StartNoise(*spec.Noise, job)
+	}
+	var hostNoise func(int) int64
+	if spec.HostNoise != nil {
+		hostNoise = spec.HostNoise()
+	}
+	iters := spec.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	return e.MeasureSetups(ctx, job, spec.Setups(), hostNoise, spec.Workload(job.Size()), iters)
+}

@@ -1,0 +1,24 @@
+package harness
+
+import "hash/fnv"
+
+// TrialSeed derives the seed of a trial's private random streams from the
+// suite seed and the trial id: the id is hashed with FNV-1a, mixed with the
+// finalized suite seed, and passed through a splitmix64 finalizer. The result
+// depends only on (base, id) — never on the position of the trial in the
+// suite or on which worker runs it — which is what makes parallel execution
+// bit-reproducible.
+func TrialSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(mix64(mix64(uint64(base)) ^ h.Sum64()))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche so that
+// structured inputs (small seeds, similar ids) land far apart.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
