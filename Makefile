@@ -1,14 +1,30 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race bench quick
+.PHONY: all build vet fmt-check examples test race bench quick
 
-all: build vet test
+all: build vet fmt-check examples test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails when any file is not gofmt-clean (CI runs it; use
+# `gofmt -w .` to fix).
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# examples compiles every example binary explicitly. The examples are plain
+# `package main` directories that only the facade API keeps honest, so they
+# get their own gate against silent drift during API churn.
+examples:
+	@for d in examples/*/; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null ./$$d || exit 1; \
+	done
 
 test:
 	$(GO) test ./...

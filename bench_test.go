@@ -9,7 +9,7 @@
 // The benchmarks run at the reduced "quick" scale so the whole harness
 // completes in a couple of minutes; use cmd/experiments with -nodes,
 // -size-scale and -full-aries to run at larger scales.
-package dragonfly
+package dragonfly_test
 
 import (
 	"runtime"

@@ -1,7 +1,8 @@
 // Command dragonsim runs a single workload on a simulated Dragonfly system and
 // prints the execution time, the NIC counters and (for the application-aware
 // configuration) the selector statistics. It is the quickest way to poke at
-// the simulator from the command line.
+// the simulator from the command line, and the smallest complete consumer of
+// the public dragonfly facade.
 //
 // Usage:
 //
@@ -15,17 +16,8 @@ import (
 	"fmt"
 	"os"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/core"
-	"dragonfly/internal/counters"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
-	"dragonfly/internal/topo"
+	"dragonfly"
 	"dragonfly/internal/trace"
-	"dragonfly/internal/workloads"
 )
 
 func main() {
@@ -56,140 +48,85 @@ func run(args []string) error {
 		return err
 	}
 	if *listW {
-		for _, name := range workloads.Names() {
+		for _, name := range dragonfly.WorkloadNames() {
 			fmt.Println(name)
 		}
 		return nil
 	}
 
-	// Topology and fabric.
-	var tcfg topo.Config
-	if *fullAries {
-		tcfg = topo.AriesConfig(*groups)
-	} else {
-		tcfg = topo.SmallConfig(*groups)
-		tcfg.BladesPerChassis = 8
-		tcfg.GlobalLinksPerRouter = 4
-	}
-	t, err := topo.New(tcfg)
+	// Fail fast on bad names before building any system.
+	routing, err := dragonfly.ParseRouting(*routingMode)
 	if err != nil {
 		return err
 	}
-	pol, err := routing.NewPolicy(t, routing.DefaultParams())
-	if err != nil {
-		return err
-	}
-	engine := sim.NewEngine(*seed)
-	fab, err := network.New(engine, t, pol, network.DefaultConfig())
+	policy, err := dragonfly.ParsePolicy(*allocPolicy)
 	if err != nil {
 		return err
 	}
 
-	// Allocation.
-	policy, err := alloc.ParsePolicy(*allocPolicy)
+	geometry := dragonfly.MediumGeometry(*groups)
+	if *fullAries {
+		geometry = dragonfly.AriesGeometry(*groups)
+	}
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(geometry),
+		dragonfly.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}
-	rng := engine.Rand()
-	job, err := alloc.Allocate(t, policy, *nodes, rng, nil)
+
+	job, err := sys.Allocate(policy, *nodes)
 	if err != nil {
 		return err
 	}
+	t := sys.Topology()
 	fmt.Printf("system: %d nodes, %d routers, %d groups; job: %s\n",
 		t.NumNodes(), t.NumRouters(), t.Config().Groups, job)
 
-	// Optional background noise.
+	// Optional background noise. StartNoise silently caps the job to the free
+	// nodes; the user asked for a specific interference scenario, so reject
+	// requests the machine cannot honor instead.
 	if *withNoise {
-		ncfg := noise.DefaultGeneratorConfig()
-		ncfg.Seed = *seed + 1
-		na, err := alloc.Allocate(t, alloc.RandomScatter, *noiseNodesN, rng, alloc.ExcludeSet(job))
-		if err != nil {
-			return fmt.Errorf("allocating noise job: %w", err)
+		if free := sys.FreeNodes(); *noiseNodesN > free {
+			return fmt.Errorf("allocating noise job: requested %d nodes but only %d are free", *noiseNodesN, free)
 		}
-		g, err := noise.FromAllocation(fab, na, ncfg)
-		if err != nil {
-			return err
+		g := sys.StartNoise(dragonfly.NoiseConfig{
+			Pattern: dragonfly.NoiseUniform,
+			Nodes:   *noiseNodesN,
+		})
+		if g == nil {
+			return fmt.Errorf("no room for a %d-node background job", *noiseNodesN)
 		}
-		g.Start(1 << 50)
-		fmt.Printf("background job: %d nodes, %s pattern\n", na.Size(), ncfg.Pattern)
+		fmt.Printf("background job: %d nodes, %s pattern\n", g.NumNodes(), dragonfly.NoiseUniform)
 	}
 
-	// Routing provider.
-	var selectors []*core.Selector
-	var provider func(int) mpi.RoutingProvider
-	switch *routingMode {
-	case "default":
-		provider = func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }
-	case "appaware":
-		provider = func(int) mpi.RoutingProvider {
-			s := core.MustNew(core.DefaultConfig())
-			selectors = append(selectors, s)
-			return mpi.AppAwareRouting{Selector: s}
-		}
-	default:
-		mode, err := routing.ParseMode(*routingMode)
-		if err != nil {
-			return err
-		}
-		provider = func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} }
-	}
-
-	// Workload.
-	w, err := workloads.New(*workloadName, job.Size(), *size)
+	w, err := dragonfly.NewWorkload(*workloadName, job.Size(), *size)
 	if err != nil {
 		return err
 	}
-	comm, err := mpi.NewComm(fab, job, mpi.Config{Routing: provider})
+	res, err := job.Run(w, dragonfly.RunOptions{Routing: routing, Iterations: *iterations})
 	if err != nil {
 		return err
 	}
 
 	results := trace.NewTable(fmt.Sprintf("%s size=%d routing=%s", w.Name(), *size, *routingMode),
 		"iteration", "time (cycles)", "job packets", "job flits", "stall ratio", "avg latency", "non-minimal %")
-	for i := 0; i < *iterations; i++ {
-		before := jobCounters(fab, job)
-		start := engine.Now()
-		if err := comm.Run(w.Run); err != nil {
-			return err
-		}
-		for r := 0; r < comm.Size(); r++ {
-			if err := comm.Rank(r).Err(); err != nil {
-				return fmt.Errorf("rank %d: %w", r, err)
-			}
-		}
-		delta := jobCounters(fab, job).Sub(before)
-		results.AddRow(i, engine.Now()-start, delta.RequestPackets, delta.RequestFlits,
+	for i, delta := range res.Deltas {
+		results.AddRow(i, res.Times[i], delta.RequestPackets, delta.RequestFlits,
 			delta.StallRatio(), delta.AvgPacketLatency(), delta.NonMinimalFraction()*100)
 	}
 	if err := results.Render(os.Stdout); err != nil {
 		return err
 	}
 
-	if len(selectors) > 0 {
-		var agg core.Stats
-		for _, s := range selectors {
-			st := s.Stats()
-			agg.Messages += st.Messages
-			agg.Bytes += st.Bytes
-			agg.DefaultBytes += st.DefaultBytes
-			agg.BiasBytes += st.BiasBytes
-			agg.Evaluations += st.Evaluations
-			agg.Switches += st.Switches
-		}
+	if res.HasSelectorStats {
+		st := res.SelectorStats
 		fmt.Printf("application-aware selector: %d messages, %.1f%% of bytes sent with Default routing, %d evaluations, %d mode switches\n",
-			agg.Messages, agg.DefaultTrafficFraction()*100, agg.Evaluations, agg.Switches)
+			st.Messages, st.DefaultTrafficFraction()*100, st.Evaluations, st.Switches)
 	}
 	if *report > 0 {
-		fmt.Print(fab.Report(*report))
+		fmt.Print(sys.Fabric().Report(*report))
 	}
 	return nil
-}
-
-// jobCounters sums the NIC counters over the job's nodes.
-func jobCounters(fab *network.Fabric, job *alloc.Allocation) counters.NIC {
-	var total counters.NIC
-	for _, n := range job.Nodes() {
-		total.Add(fab.NodeCounters(n))
-	}
-	return total
 }

@@ -21,16 +21,9 @@ import (
 	"io"
 	"os"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/counters"
-	"dragonfly/internal/mpi"
+	"dragonfly"
 	"dragonfly/internal/msglog"
-	"dragonfly/internal/network"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
-	"dragonfly/internal/topo"
-	"dragonfly/internal/workloads"
 )
 
 func main() {
@@ -56,79 +49,52 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	mode2, err := routing.ParseMode(*routingMode)
+	mode2, err := dragonfly.ParseMode(*routingMode)
 	if err != nil {
 		return err
 	}
 
-	t, err := topo.New(smallGeometry(*groups))
-	if err != nil {
-		return err
-	}
-	pol, err := routing.NewPolicy(t, routing.DefaultParams())
-	if err != nil {
-		return err
-	}
-	engine := sim.NewEngine(*seed)
-	fab, err := network.New(engine, t, pol, network.DefaultConfig())
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.MediumGeometry(*groups)),
+		dragonfly.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}
 
 	switch *mode {
 	case "record":
-		return record(out, fab, *workloadName, *size, *nodes, mode2, *tracePath)
+		return record(out, sys, *workloadName, *size, *nodes, mode2, *tracePath)
 	case "replay":
-		return replay(out, fab, *tracePath, mode2, *timeScale)
+		return replay(out, sys, *tracePath, mode2, *timeScale)
 	default:
 		return fmt.Errorf("unknown mode %q (want record or replay)", *mode)
 	}
 }
 
-// smallGeometry returns the reduced geometry used by the CLI tools.
-func smallGeometry(groups int) topo.Config {
-	cfg := topo.SmallConfig(groups)
-	cfg.BladesPerChassis = 8
-	cfg.GlobalLinksPerRouter = 4
-	return cfg
-}
-
 // record runs the workload with a log attached and saves the trace.
-func record(out io.Writer, fab *network.Fabric, workloadName string, size int64,
-	nodes int, mode routing.Mode, tracePath string) error {
+func record(out io.Writer, sys *dragonfly.System, workloadName string, size int64,
+	nodes int, mode dragonfly.Mode, tracePath string) error {
 
-	t := fab.Topology()
-	job, err := alloc.Allocate(t, alloc.GroupStriped, nodes, fab.Engine().Rand(), nil)
+	job, err := sys.Allocate(dragonfly.GroupStriped, nodes)
 	if err != nil {
 		return err
 	}
-	w, err := workloads.New(workloadName, job.Size(), size)
-	if err != nil {
-		return err
-	}
-	comm, err := mpi.NewComm(fab, job, mpi.Config{
-		Routing: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} },
-	})
+	w, err := dragonfly.NewWorkload(workloadName, job.Size(), size)
 	if err != nil {
 		return err
 	}
 	log := msglog.NewLog()
-	log.Attach(fab)
-	start := fab.Engine().Now()
-	if err := comm.Run(w.Run); err != nil {
+	log.Attach(sys.Fabric())
+	res, err := job.Run(w, dragonfly.RunOptions{Routing: dragonfly.StaticRouting(mode)})
+	if err != nil {
 		return err
 	}
-	for r := 0; r < comm.Size(); r++ {
-		if err := comm.Rank(r).Err(); err != nil {
-			return fmt.Errorf("rank %d: %w", r, err)
-		}
-	}
-	elapsed := fab.Engine().Now() - start
 	if err := log.SaveJSONL(tracePath); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "recorded %s: %d messages, %d bytes, %d cycles under %s\n",
-		w.Name(), log.Len(), log.TotalBytes(), elapsed, mode)
+		w.Name(), log.Len(), log.TotalBytes(), res.Time(), mode)
 	fmt.Fprintf(out, "trace written to %s\n", tracePath)
 	bounds, counts := log.SizeHistogram(64)
 	fmt.Fprintln(out, "message-size histogram:")
@@ -141,27 +107,25 @@ func record(out io.Writer, fab *network.Fabric, workloadName string, size int64,
 }
 
 // replay loads the trace and re-injects it under the given routing mode.
-func replay(out io.Writer, fab *network.Fabric, tracePath string, mode routing.Mode, timeScale float64) error {
+func replay(out io.Writer, sys *dragonfly.System, tracePath string, mode dragonfly.Mode, timeScale float64) error {
 	records, err := msglog.LoadJSONL(tracePath)
 	if err != nil {
 		return err
 	}
+	fab := sys.Fabric()
 	replayLog := msglog.NewLog()
 	replayLog.Attach(fab)
 	scheduled, err := msglog.Replay(fab, records, msglog.ReplayOptions{Mode: mode, TimeScale: timeScale})
 	if err != nil {
 		return err
 	}
-	start := fab.Engine().Now()
-	if err := fab.Engine().Run(); err != nil {
+	start := sys.Now()
+	if err := sys.Engine().Run(); err != nil {
 		return err
 	}
-	elapsed := fab.Engine().Now() - start
+	elapsed := sys.Now() - start
 
-	var total counters.NIC
-	for n := 0; n < fab.Topology().NumNodes(); n++ {
-		total.Add(fab.NodeCounters(topo.NodeID(n)))
-	}
+	total := sys.MachineCounters()
 	lats := replayLog.Latencies()
 	fmt.Fprintf(out, "replayed %d of %d messages under %s (time scale %.2f): %d cycles\n",
 		replayLog.Len(), scheduled, mode, timeScale, elapsed)

@@ -27,17 +27,13 @@ import (
 	"os"
 	"strings"
 
+	"dragonfly"
 	"dragonfly/internal/alloc"
-	"dragonfly/internal/core"
 	"dragonfly/internal/harness"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/trace"
-	"dragonfly/internal/workloads"
 )
 
 func main() {
@@ -105,18 +101,14 @@ func run(args []string, out io.Writer) error {
 	}
 	// Fail fast on unknown modes before building any system.
 	for _, m := range modes {
-		if _, err := providerFor(m); err != nil {
+		if _, err := dragonfly.ParseRouting(m); err != nil {
 			return err
 		}
 	}
 
-	var tcfg topo.Config
+	tcfg := dragonfly.MediumGeometry(*groups)
 	if *fullAries {
-		tcfg = topo.AriesConfig(*groups)
-	} else {
-		tcfg = topo.SmallConfig(*groups)
-		tcfg.BladesPerChassis = 8
-		tcfg.GlobalLinksPerRouter = 4
+		tcfg = dragonfly.AriesGeometry(*groups)
 	}
 	cfg := scanConfig{
 		workload:     *workloadName,
@@ -175,27 +167,23 @@ func run(args []string, out io.Writer) error {
 // jobNodes is the shared measured-job allocation, identical across modes.
 func scanBody(mode string, cfg scanConfig, jobNodes []topo.NodeID) func(context.Context, *harness.Env) (any, error) {
 	return func(ctx context.Context, e *harness.Env) (any, error) {
-		provider, err := providerFor(mode)
+		rc, err := dragonfly.ParseRouting(mode)
 		if err != nil {
 			return nil, err
 		}
-		job := alloc.NewAllocation(e.Topo, jobNodes)
+		job := e.Sys.JobFromNodes(jobNodes)
 		var noiseDesc string
 		if cfg.noiseKind != "none" {
-			pattern, err := noise.ParsePattern(cfg.noiseKind)
+			pattern, err := dragonfly.ParseNoisePattern(cfg.noiseKind)
 			if err != nil {
 				return nil, err
 			}
-			if g := e.StartNoise(harness.NoiseSpec{Pattern: pattern, Nodes: cfg.noiseNodes}, job); g != nil {
+			if g := e.Sys.StartNoise(dragonfly.NoiseConfig{Pattern: pattern, Nodes: cfg.noiseNodes}); g != nil {
 				noiseDesc = fmt.Sprintf("%d nodes, %s pattern", g.NumNodes(), pattern)
 			}
 		}
 
-		w, err := workloads.New(cfg.workload, job.Size(), cfg.size)
-		if err != nil {
-			return nil, err
-		}
-		comm, err := mpi.NewComm(e.Fabric, job, mpi.Config{Routing: provider})
+		w, err := dragonfly.NewWorkload(cfg.workload, job.Size(), cfg.size)
 		if err != nil {
 			return nil, err
 		}
@@ -209,21 +197,13 @@ func scanBody(mode string, cfg scanConfig, jobNodes []topo.NodeID) func(context.
 		}
 		col.Start(harness.DefaultHorizon)
 
-		var times []int64
-		for i := 0; i < cfg.iterations; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			start := e.Engine.Now()
-			if err := comm.Run(w.Run); err != nil {
-				return nil, err
-			}
-			for r := 0; r < comm.Size(); r++ {
-				if err := comm.Rank(r).Err(); err != nil {
-					return nil, fmt.Errorf("rank %d: %w", r, err)
-				}
-			}
-			times = append(times, int64(e.Engine.Now()-start))
+		res, err := job.Run(w, dragonfly.RunOptions{
+			Routing:    rc,
+			Iterations: cfg.iterations,
+			Context:    ctx,
+		})
+		if err != nil {
+			return nil, err
 		}
 		col.Stop()
 		col.Flush()
@@ -232,27 +212,9 @@ func scanBody(mode string, cfg scanConfig, jobNodes []topo.NodeID) func(context.
 			WorkloadName: w.Name(),
 			Job:          job.String(),
 			NoiseDesc:    noiseDesc,
-			Times:        times,
+			Times:        res.Times,
 			Col:          col,
 		}, nil
-	}
-}
-
-// providerFor maps a routing-mode name to a per-rank provider factory.
-func providerFor(mode string) (func(int) mpi.RoutingProvider, error) {
-	switch mode {
-	case "appaware":
-		return func(int) mpi.RoutingProvider {
-			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
-		}, nil
-	case "default":
-		return func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }, nil
-	default:
-		m, err := routing.ParseMode(mode)
-		if err != nil {
-			return nil, err
-		}
-		return func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: m} }, nil
 	}
 }
 

@@ -17,11 +17,8 @@ import (
 	"io"
 	"os"
 
-	"dragonfly/internal/network"
-	"dragonfly/internal/routing"
+	"dragonfly"
 	"dragonfly/internal/sched"
-	"dragonfly/internal/sim"
-	"dragonfly/internal/topo"
 	"dragonfly/internal/trace"
 )
 
@@ -55,27 +52,19 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var tcfg topo.Config
+	geometry := dragonfly.MediumGeometry(*groups)
 	if *fullAries {
-		tcfg = topo.AriesConfig(*groups)
-	} else {
-		tcfg = topo.SmallConfig(*groups)
-		tcfg.BladesPerChassis = 8
-		tcfg.GlobalLinksPerRouter = 4
+		geometry = dragonfly.AriesGeometry(*groups)
 	}
-	t, err := topo.New(tcfg)
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(geometry),
+		dragonfly.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}
-	pol, err := routing.NewPolicy(t, routing.DefaultParams())
-	if err != nil {
-		return err
-	}
-	engine := sim.NewEngine(*seed)
-	fab, err := network.New(engine, t, pol, network.DefaultConfig())
-	if err != nil {
-		return err
-	}
+	t := sys.Topology()
+	fab := sys.Fabric()
 
 	mix := sched.DefaultMixConfig()
 	mix.Jobs = *jobs
@@ -96,7 +85,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	s.Start()
-	if err := engine.Run(); err != nil {
+	if err := sys.Engine().Run(); err != nil {
 		return err
 	}
 

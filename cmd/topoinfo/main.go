@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"os"
 
+	"dragonfly"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/trace"
 )
@@ -38,11 +39,9 @@ func run(args []string) error {
 		return err
 	}
 
-	var cfg topo.Config
+	cfg := dragonfly.SmallGeometry(*groups)
 	if *fullAries {
-		cfg = topo.AriesConfig(*groups)
-	} else {
-		cfg = topo.SmallConfig(*groups)
+		cfg = dragonfly.AriesGeometry(*groups)
 	}
 	t, err := topo.New(cfg)
 	if err != nil {

@@ -4,6 +4,11 @@
 // bandwidth-bound phases (large transfers); the selector switches routing mode
 // between phases based on the NIC counters it observes.
 //
+// The example also shows the open half of the facade: instead of the canned
+// dragonfly.AppAware configuration it builds its own dragonfly.Routing, so it
+// can keep references to the per-rank selectors and inspect the network state
+// they ended up believing in.
+//
 // Run with:
 //
 //	go run ./examples/appaware
@@ -13,79 +18,72 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/alloc"
+	"dragonfly"
 	"dragonfly/internal/core"
 	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
-	"dragonfly/internal/topo"
 )
 
 func main() {
 	const ranks = 12
-	t := topo.MustNew(topo.SmallConfig(4))
-	policy := routing.MustNewPolicy(t, routing.DefaultParams())
-	engine := sim.NewEngine(11)
-	fabric := network.MustNew(engine, t, policy, network.DefaultConfig())
-
-	job := alloc.MustAllocate(t, alloc.GroupStriped, ranks, nil, nil)
-	other := alloc.MustAllocate(t, alloc.RandomScatter, 16, engine.Rand(), alloc.ExcludeSet(job))
-	gen := noise.MustNewGenerator(fabric, other.Nodes(), noise.DefaultGeneratorConfig())
-	gen.Start(1 << 50)
-
-	// One selector per rank, exactly as the LD_PRELOAD library keeps one state
-	// per process. We keep references so we can print statistics at the end.
-	selectors := make([]*core.Selector, 0, ranks)
-	comm, err := mpi.NewComm(fabric, job, mpi.Config{
-		Routing: func(rank int) mpi.RoutingProvider {
-			cfg := core.DefaultConfig()
-			s := core.MustNew(cfg)
-			selectors = append(selectors, s)
-			return mpi.AppAwareRouting{Selector: s}
-		},
-	})
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(4)),
+		dragonfly.WithSeed(11),
+		dragonfly.WithNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseUniform, Nodes: 16}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// WithNoise starts the background job as soon as the measured job is
+	// placed, on disjoint nodes.
+	job, err := sys.Allocate(dragonfly.GroupStriped, ranks)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// One selector per rank, exactly as the LD_PRELOAD library keeps one state
+	// per process. We keep references so we can print per-rank state at the
+	// end — the part the canned dragonfly.AppAware() hides.
+	var selectors []*core.Selector
+	appAware := dragonfly.Routing{
+		Name: "AppAware",
+		Provider: func(rank int) dragonfly.RoutingProvider {
+			s := core.MustNew(core.DefaultConfig())
+			selectors = append(selectors, s)
+			return mpi.AppAwareRouting{Selector: s}
+		},
+		Stats: func() dragonfly.SelectorStats {
+			var agg dragonfly.SelectorStats
+			for _, s := range selectors {
+				agg.Add(s.Stats())
+			}
+			return agg
+		},
+	}
+
 	// The custom application: a ring exchange of small control messages
 	// (latency bound), then a large-block shift (bandwidth bound), repeated.
-	program := func(r *mpi.Rank) {
+	program := dragonfly.WorkloadFunc("phased-ring", func(r *dragonfly.Rank) {
 		next := (r.Rank() + 1) % r.Size()
 		prev := (r.Rank() - 1 + r.Size()) % r.Size()
 		for phase := 0; phase < 4; phase++ {
 			// Latency-bound phase: 32 control messages around the ring.
 			for i := 0; i < 32; i++ {
-				r.SendRecv(next, 64, prev, core.PointToPoint)
+				r.SendRecv(next, 64, prev, dragonfly.PointToPoint)
 			}
 			// Compute phase.
 			r.Compute(25_000)
 			// Bandwidth-bound phase: one large shift around the ring.
-			r.SendRecv(next, 256<<10, prev, core.PointToPoint)
+			r.SendRecv(next, 256<<10, prev, dragonfly.PointToPoint)
 		}
-	}
+	})
 
-	start := engine.Now()
-	if err := comm.Run(program); err != nil {
+	res, err := job.Run(program, dragonfly.RunOptions{Routing: appAware})
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("custom application finished in %d cycles on %d ranks\n\n", engine.Now()-start, ranks)
+	fmt.Printf("custom application finished in %d cycles on %d ranks\n\n", res.Time(), ranks)
 
-	var agg core.Stats
-	for _, s := range selectors {
-		st := s.Stats()
-		agg.Messages += st.Messages
-		agg.Bytes += st.Bytes
-		agg.DefaultMessages += st.DefaultMessages
-		agg.DefaultBytes += st.DefaultBytes
-		agg.BiasMessages += st.BiasMessages
-		agg.BiasBytes += st.BiasBytes
-		agg.Evaluations += st.Evaluations
-		agg.CounterReads += st.CounterReads
-		agg.Switches += st.Switches
-	}
+	agg := res.SelectorStats
 	fmt.Println("application-aware selector statistics (aggregated over ranks):")
 	fmt.Printf("  messages routed:            %d (%d bytes)\n", agg.Messages, agg.Bytes)
 	fmt.Printf("  sent with Default routing:  %d messages, %.1f%% of bytes\n",

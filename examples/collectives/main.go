@@ -14,12 +14,7 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
-	"dragonfly/internal/topo"
+	"dragonfly"
 )
 
 const messageBytes = 16 << 10
@@ -27,20 +22,20 @@ const messageBytes = 16 << 10
 func main() {
 	algorithms := []struct {
 		name string
-		body func(r *mpi.Rank)
+		body func(r *dragonfly.Rank)
 	}{
-		{"allreduce/recursive-doubling", func(r *mpi.Rank) { r.Allreduce(messageBytes) }},
-		{"allreduce/ring", func(r *mpi.Rank) { r.AllreduceRing(messageBytes) }},
-		{"allreduce/rabenseifner", func(r *mpi.Rank) { r.AllreduceRabenseifner(messageBytes) }},
-		{"alltoall/pairwise", func(r *mpi.Rank) { r.Alltoall(messageBytes) }},
-		{"alltoall/bruck", func(r *mpi.Rank) { r.AlltoallBruck(messageBytes) }},
-		{"alltoall/spread", func(r *mpi.Rank) { r.AlltoallSpread(messageBytes) }},
+		{"allreduce/recursive-doubling", func(r *dragonfly.Rank) { r.Allreduce(messageBytes) }},
+		{"allreduce/ring", func(r *dragonfly.Rank) { r.AllreduceRing(messageBytes) }},
+		{"allreduce/rabenseifner", func(r *dragonfly.Rank) { r.AllreduceRabenseifner(messageBytes) }},
+		{"alltoall/pairwise", func(r *dragonfly.Rank) { r.Alltoall(messageBytes) }},
+		{"alltoall/bruck", func(r *dragonfly.Rank) { r.AlltoallBruck(messageBytes) }},
+		{"alltoall/spread", func(r *dragonfly.Rank) { r.AlltoallSpread(messageBytes) }},
 	}
 
 	fmt.Printf("%-30s %18s %18s %10s\n", "algorithm", "Adaptive (cycles)", "HighBias (cycles)", "winner")
 	for _, a := range algorithms {
-		adaptive := measure(a.body, routing.Adaptive)
-		biased := measure(a.body, routing.AdaptiveHighBias)
+		adaptive := measure(a.name, a.body, dragonfly.Adaptive)
+		biased := measure(a.name, a.body, dragonfly.AdaptiveHighBias)
 		winner := "Adaptive"
 		if biased < adaptive {
 			winner = "HighBias"
@@ -50,43 +45,28 @@ func main() {
 	fmt.Println()
 	fmt.Println("The size-tuned dispatcher (mpi.Tuning) picks the algorithm per message size the")
 	fmt.Println("way production MPI libraries do; combine it with the application-aware selector")
-	fmt.Println("(core.Selector) to adapt both the algorithm and the routing mode at runtime.")
+	fmt.Println("(dragonfly.AppAware) to adapt both the algorithm and the routing mode at runtime.")
 }
 
 // measure runs the collective once on a fresh 16-rank system with the given
 // routing mode and returns the elapsed simulated cycles.
-func measure(body func(r *mpi.Rank), mode routing.Mode) sim.Time {
-	t, err := topo.New(topo.SmallConfig(4))
+func measure(name string, body func(r *dragonfly.Rank), mode dragonfly.Mode) int64 {
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(4)),
+		dragonfly.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	policy, err := routing.NewPolicy(t, routing.DefaultParams())
+	job, err := sys.Allocate(dragonfly.GroupStriped, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine := sim.NewEngine(3)
-	fabric, err := network.New(engine, t, policy, network.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	job, err := alloc.Allocate(t, alloc.GroupStriped, 16, engine.Rand(), nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	comm, err := mpi.NewComm(fabric, job, mpi.Config{
-		Routing: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} },
+	res, err := job.Run(dragonfly.WorkloadFunc(name, body), dragonfly.RunOptions{
+		Routing: dragonfly.StaticRouting(mode),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	start := engine.Now()
-	if err := comm.Run(body); err != nil {
-		log.Fatal(err)
-	}
-	for i := 0; i < comm.Size(); i++ {
-		if err := comm.Rank(i).Err(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	return engine.Now() - start
+	return res.Time()
 }

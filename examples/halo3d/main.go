@@ -13,15 +13,8 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/core"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
+	"dragonfly"
 	"dragonfly/internal/stats"
-	"dragonfly/internal/topo"
 	"dragonfly/internal/workloads"
 )
 
@@ -34,61 +27,57 @@ func main() {
 	)
 
 	// One simulated system shared by the measured job and the bully job.
-	t := topo.MustNew(topo.Config{
-		Groups: 6, ChassisPerGroup: 2, BladesPerChassis: 8, NodesPerBlade: 2,
-		GlobalLinksPerRouter: 4, IntraGroupLinkWidth: 3, IntraChassisLinkWidth: 1, GlobalLinkWidth: 2,
-	})
-	policy := routing.MustNewPolicy(t, routing.DefaultParams())
-	engine := sim.NewEngine(7)
-	fabric := network.MustNew(engine, t, policy, network.DefaultConfig())
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.Geometry{
+			Groups: 6, ChassisPerGroup: 2, BladesPerChassis: 8, NodesPerBlade: 2,
+			GlobalLinksPerRouter: 4, IntraGroupLinkWidth: 3, IntraChassisLinkWidth: 1, GlobalLinkWidth: 2,
+		}),
+		dragonfly.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The measured job is striped over the groups (a scattered allocation, as
 	// on a busy production machine).
-	job := alloc.MustAllocate(t, alloc.GroupStriped, jobNodes, nil, nil)
+	job, err := sys.Allocate(dragonfly.GroupStriped, jobNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("halo3d job: %s\n", job)
 
 	// The interfering job: an all-to-all bully on other nodes.
-	bullyAlloc := alloc.MustAllocate(t, alloc.RandomScatter, noiseNodes, engine.Rand(), alloc.ExcludeSet(job))
-	bullyCfg := noise.DefaultGeneratorConfig()
-	bullyCfg.Pattern = noise.AlltoallBully
-	bullyCfg.MessageBytes = 32 << 10
-	bullyCfg.IntervalCycles = 8_000
-	bully := noise.MustNewGenerator(fabric, bullyAlloc.Nodes(), bullyCfg)
-	bully.Start(1 << 50)
-	fmt.Printf("bully job:  %s (%s pattern)\n\n", bullyAlloc, bullyCfg.Pattern)
+	bully := sys.StartNoise(dragonfly.NoiseConfig{
+		Pattern:        dragonfly.NoiseBully,
+		Nodes:          noiseNodes,
+		MessageBytes:   32 << 10,
+		IntervalCycles: 8_000,
+	})
+	if bully == nil {
+		log.Fatal("no room for the bully job")
+	}
+	fmt.Printf("bully job:  %d nodes (%s pattern)\n\n", bully.NumNodes(), dragonfly.NoiseBully)
 
-	configs := []struct {
-		name    string
-		routing func(int) mpi.RoutingProvider
-	}{
-		{"Default (ADAPTIVE_0)", func(int) mpi.RoutingProvider { return mpi.DefaultRouting() }},
-		{"Adaptive High Bias", func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.AdaptiveHighBias} }},
-		{"Application-Aware", func(int) mpi.RoutingProvider {
-			return mpi.AppAwareRouting{Selector: core.MustNew(core.DefaultConfig())}
-		}},
+	configs := []dragonfly.Routing{
+		dragonfly.DefaultRouting(),
+		dragonfly.StaticRouting(dragonfly.AdaptiveHighBias),
+		dragonfly.AppAware(),
 	}
 
 	baseline := 0.0
 	for _, cfg := range configs {
-		comm, err := mpi.NewComm(fabric, job, mpi.Config{Routing: cfg.routing})
+		w := workloads.NewHalo3D(jobNodes, domainEdge, 1)
+		res, err := job.Run(w, dragonfly.RunOptions{Routing: cfg, Iterations: iterations})
 		if err != nil {
 			log.Fatal(err)
 		}
-		w := workloads.NewHalo3D(jobNodes, domainEdge, 1)
-		times := make([]float64, 0, iterations)
-		for i := 0; i < iterations; i++ {
-			start := engine.Now()
-			if err := comm.Run(w.Run); err != nil {
-				log.Fatal(err)
-			}
-			times = append(times, float64(engine.Now()-start))
-		}
+		times := res.TimesFloat()
 		med := stats.Median(times)
 		if baseline == 0 {
 			baseline = med
 		}
 		fmt.Printf("%-22s median=%10.0f cycles  qcd=%.3f  normalized=%.2f\n",
-			cfg.name, med, stats.QCD(times), med/baseline)
+			cfg.Name, med, stats.QCD(times), med/baseline)
 	}
 	fmt.Println("\n(normalized < 1 means faster than the Default routing, as in Figure 8)")
 }

@@ -12,25 +12,10 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/counters"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
+	"dragonfly"
 	"dragonfly/internal/stats"
-	"dragonfly/internal/topo"
 	"dragonfly/internal/workloads"
 )
-
-func jobCounters(f *network.Fabric, a *alloc.Allocation) counters.NIC {
-	var total counters.NIC
-	for _, n := range a.Nodes() {
-		total.Add(f.NodeCounters(n))
-	}
-	return total
-}
 
 func main() {
 	const (
@@ -38,52 +23,56 @@ func main() {
 		messageBytes = 8 << 10
 		iterations   = 10
 	)
-	t := topo.MustNew(topo.Config{
-		Groups: 5, ChassisPerGroup: 2, BladesPerChassis: 8, NodesPerBlade: 2,
-		GlobalLinksPerRouter: 4, IntraGroupLinkWidth: 3, IntraChassisLinkWidth: 1, GlobalLinkWidth: 2,
-	})
-	policy := routing.MustNewPolicy(t, routing.DefaultParams())
-	engine := sim.NewEngine(3)
-	fabric := network.MustNew(engine, t, policy, network.DefaultConfig())
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.Geometry{
+			Groups: 5, ChassisPerGroup: 2, BladesPerChassis: 8, NodesPerBlade: 2,
+			GlobalLinksPerRouter: 4, IntraGroupLinkWidth: 3, IntraChassisLinkWidth: 1, GlobalLinkWidth: 2,
+		}),
+		dragonfly.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	job := alloc.MustAllocate(t, alloc.GroupStriped, jobNodes, nil, nil)
+	job, err := sys.Allocate(dragonfly.GroupStriped, jobNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("measured job: %s\n", job)
 
 	// Interfering hotspot (incast) job.
-	other := alloc.MustAllocate(t, alloc.RandomScatter, 20, engine.Rand(), alloc.ExcludeSet(job))
-	ncfg := noise.DefaultGeneratorConfig()
-	ncfg.Pattern = noise.Hotspot
-	ncfg.IntervalCycles = 6_000
-	gen := noise.MustNewGenerator(fabric, other.Nodes(), ncfg)
-	gen.Start(1 << 50)
-	fmt.Printf("interfering job: %s (%s)\n\n", other, ncfg.Pattern)
+	gen := sys.StartNoise(dragonfly.NoiseConfig{
+		Pattern:        dragonfly.NoiseHotspot,
+		Nodes:          20,
+		IntervalCycles: 6_000,
+	})
+	if gen == nil {
+		log.Fatal("no room for the interfering job")
+	}
+	fmt.Printf("interfering job: %d nodes (%s)\n\n", gen.NumNodes(), dragonfly.NoiseHotspot)
 
 	fmt.Printf("%-28s %12s %12s %10s %10s %14s\n",
 		"routing", "median", "qcd(time)", "latency L", "stalls s", "non-minimal %")
-	for _, mode := range []routing.Mode{routing.Adaptive, routing.IncreasinglyMinimalBias, routing.AdaptiveHighBias} {
-		comm, err := mpi.NewComm(fabric, job, mpi.Config{
-			Routing: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} },
+	for _, mode := range []dragonfly.Mode{
+		dragonfly.Adaptive, dragonfly.IncreasinglyMinimalBias, dragonfly.AdaptiveHighBias,
+	} {
+		w := &workloads.Alltoall{MessageBytes: messageBytes, Iterations: 1}
+		res, err := job.Run(w, dragonfly.RunOptions{
+			Routing:    dragonfly.StaticRouting(mode),
+			Iterations: iterations,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		w := &workloads.Alltoall{MessageBytes: messageBytes, Iterations: 1}
-		var times, lats, stalls []float64
+		var lats, stalls []float64
 		var nonMin float64
-		for i := 0; i < iterations; i++ {
-			before := jobCounters(fabric, job)
-			start := engine.Now()
-			if err := comm.Run(w.Run); err != nil {
-				log.Fatal(err)
-			}
-			delta := jobCounters(fabric, job).Sub(before)
-			times = append(times, float64(engine.Now()-start))
+		for _, delta := range res.Deltas {
 			lats = append(lats, delta.AvgPacketLatency())
 			stalls = append(stalls, delta.StallRatio())
 			nonMin = delta.NonMinimalFraction() * 100
 		}
 		fmt.Printf("%-28s %12.0f %12.3f %10.0f %10.2f %14.1f\n",
-			mode.Name(), stats.Median(times), stats.QCD(times),
+			mode.Name(), stats.Median(res.TimesFloat()), stats.QCD(res.TimesFloat()),
 			stats.Median(lats), stats.Median(stalls), nonMin)
 	}
 	fmt.Println("\nNIC latency/stalls isolate the network's contribution; execution-time QCD alone")

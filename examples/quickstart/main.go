@@ -1,6 +1,7 @@
-// Quickstart: build a small Dragonfly system, run a ping-pong between two
-// groups under two routing modes, and print the execution times and the NIC
-// counters the application-aware library would consume.
+// Quickstart: build a small Dragonfly system through the public dragonfly
+// facade, run a ping-pong between two groups under two routing modes and the
+// application-aware selector, and print the execution times and the NIC
+// counters the selector consumes.
 //
 // Run with:
 //
@@ -11,85 +12,49 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/core"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
-	"dragonfly/internal/topo"
+	"dragonfly"
 	"dragonfly/internal/workloads"
 )
 
 func main() {
-	// 1. Build the topology: four Aries-like groups (reduced geometry so the
-	//    example runs instantly).
-	cfg := topo.SmallConfig(4)
-	t, err := topo.New(cfg)
+	// One call stands up the whole simulated system: topology, routing
+	// policy, event engine, fabric and the allocation random stream.
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(4)),
+		dragonfly.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	t := sys.Topology()
 	fmt.Printf("topology: %d groups, %d routers, %d nodes\n",
-		cfg.Groups, t.NumRouters(), t.NumNodes())
+		t.Config().Groups, t.NumRouters(), t.NumNodes())
 
-	// 2. Build the routing policy (UGAL with the Aries bias levels), the
-	//    discrete-event engine and the fabric.
-	policy, err := routing.NewPolicy(t, routing.DefaultParams())
+	// A two-node job in different groups — the interesting case for the paper.
+	job, err := sys.AllocatePair(dragonfly.InterGroups)
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine := sim.NewEngine(42)
-	fabric, err := network.New(engine, t, policy, network.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Pick two nodes in different groups (the interesting case for the
-	//    paper) and wrap them in an allocation.
-	a, b, err := alloc.PairForClass(t, topo.AllocInterGroups)
-	if err != nil {
-		log.Fatal(err)
-	}
-	job := alloc.NewAllocation(t, []topo.NodeID{a, b})
+	a, b := job.Nodes()[0], job.Nodes()[1]
 	fmt.Printf("job: node %d <-> node %d (%s)\n\n", a, b, t.Classify(a, b))
 
-	// 4. Run the same ping-pong under Adaptive and Adaptive-with-High-Bias
-	//    routing and compare.
-	const messageBytes = 64 << 10
-	for _, mode := range []routing.Mode{routing.Adaptive, routing.AdaptiveHighBias} {
-		comm, err := mpi.NewComm(fabric, job, mpi.Config{
-			Routing: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} },
-		})
+	// The same ping-pong under Adaptive, Adaptive-with-High-Bias, and the
+	// paper's application-aware selector making the per-message decision.
+	w := &workloads.PingPong{MessageBytes: 64 << 10, Iterations: 5}
+	for _, mode := range []dragonfly.Mode{dragonfly.Adaptive, dragonfly.AdaptiveHighBias} {
+		res, err := job.Run(w, dragonfly.RunOptions{Routing: dragonfly.StaticRouting(mode)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		before := fabric.NodeCounters(a)
-		start := engine.Now()
-		w := &workloads.PingPong{MessageBytes: messageBytes, Iterations: 5}
-		if err := comm.Run(w.Run); err != nil {
-			log.Fatal(err)
-		}
-		delta := fabric.NodeCounters(a).Sub(before)
 		fmt.Printf("%-28s time=%8d cycles   L=%8.1f cycles   s=%5.2f   non-minimal=%4.1f%%\n",
-			mode.Name(), engine.Now()-start, delta.AvgPacketLatency(),
-			delta.StallRatio(), delta.NonMinimalFraction()*100)
+			mode.Name(), res.Time(), res.Counters.AvgPacketLatency(),
+			res.Counters.StallRatio(), res.Counters.NonMinimalFraction()*100)
 	}
-
-	// 5. The same exchange with the paper's application-aware selector making
-	//    the per-message decision.
-	selector := core.MustNew(core.DefaultConfig())
-	comm, err := mpi.NewComm(fabric, job, mpi.Config{
-		Routing: func(int) mpi.RoutingProvider { return mpi.AppAwareRouting{Selector: selector} },
-	})
+	res, err := job.Run(w, dragonfly.RunOptions{Routing: dragonfly.AppAware()})
 	if err != nil {
 		log.Fatal(err)
 	}
-	start := engine.Now()
-	w := &workloads.PingPong{MessageBytes: messageBytes, Iterations: 5}
-	if err := comm.Run(w.Run); err != nil {
-		log.Fatal(err)
-	}
-	st := selector.Stats()
+	st := res.SelectorStats
 	fmt.Printf("%-28s time=%8d cycles   %.0f%% of bytes sent with Default routing (%d switches)\n",
-		"Application-Aware", engine.Now()-start, st.DefaultTrafficFraction()*100, st.Switches)
+		"Application-Aware", res.Time(), st.DefaultTrafficFraction()*100, st.Switches)
 }

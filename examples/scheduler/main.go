@@ -5,6 +5,9 @@
 // paper's related work discusses, which the application-aware routing library
 // complements at the routing level.
 //
+// The scheduler drives the event engine itself, so this example uses the
+// facade's escape hatches (System.Fabric, System.Engine) instead of Job.Run.
+//
 // Run with:
 //
 //	go run ./examples/scheduler
@@ -14,11 +17,8 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/network"
-	"dragonfly/internal/routing"
+	"dragonfly"
 	"dragonfly/internal/sched"
-	"dragonfly/internal/sim"
-	"dragonfly/internal/topo"
 )
 
 func main() {
@@ -49,33 +49,27 @@ func main() {
 // returns the scheduler statistics and the number of packets the batch jobs
 // injected.
 func runMix(policy sched.AllocationPolicy, mix sched.MixConfig) (sched.Stats, uint64) {
-	t, err := topo.New(topo.SmallConfig(4))
-	if err != nil {
-		log.Fatal(err)
-	}
-	pol, err := routing.NewPolicy(t, routing.DefaultParams())
-	if err != nil {
-		log.Fatal(err)
-	}
-	engine := sim.NewEngine(7)
-	fabric, err := network.New(engine, t, pol, network.DefaultConfig())
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(4)),
+		dragonfly.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	specs, err := sched.GenerateMix(mix, t.NumNodes())
+	specs, err := sched.GenerateMix(mix, sys.Topology().NumNodes())
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := sched.New(fabric, sched.Config{Placement: policy, Backfill: true, Seed: 7})
+	s := sched.New(sys.Fabric(), sched.Config{Placement: policy, Backfill: true, Seed: 7})
 	for _, spec := range specs {
 		if _, err := s.Submit(spec); err != nil {
 			log.Fatal(err)
 		}
 	}
 	s.Start()
-	if err := engine.Run(); err != nil {
+	if err := sys.Engine().Run(); err != nil {
 		log.Fatal(err)
 	}
-	return s.Stats(), fabric.PacketsInjected()
+	return s.Stats(), sys.Fabric().PacketsInjected()
 }

@@ -14,87 +14,56 @@ import (
 	"fmt"
 	"log"
 
-	"dragonfly/internal/alloc"
-	"dragonfly/internal/mpi"
-	"dragonfly/internal/network"
-	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
+	"dragonfly"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/telemetry"
-	"dragonfly/internal/topo"
 	"dragonfly/internal/workloads"
 )
 
 func main() {
-	for _, mode := range []routing.Mode{routing.Adaptive, routing.AdaptiveHighBias} {
+	for _, mode := range []dragonfly.Mode{dragonfly.Adaptive, dragonfly.AdaptiveHighBias} {
 		observe(mode)
 		fmt.Println()
 	}
 }
 
 // observe runs the scenario under one routing mode and prints the telemetry.
-func observe(mode routing.Mode) {
-	t, err := topo.New(topo.SmallConfig(4))
-	if err != nil {
-		log.Fatal(err)
-	}
-	policy, err := routing.NewPolicy(t, routing.DefaultParams())
-	if err != nil {
-		log.Fatal(err)
-	}
-	engine := sim.NewEngine(11)
-	fabric, err := network.New(engine, t, policy, network.DefaultConfig())
+func observe(mode dragonfly.Mode) {
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(4)),
+		dragonfly.WithSeed(11),
+		dragonfly.WithTelemetry(dragonfly.TelemetryConfig{
+			IntervalCycles:   40_000,
+			TopLinks:         3,
+			TrackGroupMatrix: true,
+		}),
+		// Interfering job: an alltoall bully placed as soon as the measured
+		// job is allocated.
+		dragonfly.WithNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseBully, Nodes: 12}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Measured job: 16 nodes striped over the groups, running an alltoall.
-	job, err := alloc.Allocate(t, alloc.GroupStriped, 16, engine.Rand(), nil)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Interfering job: an alltoall bully on 12 other nodes.
-	bully, err := alloc.Allocate(t, alloc.RandomScatter, 12, engine.Rand(), alloc.ExcludeSet(job))
-	if err != nil {
-		log.Fatal(err)
-	}
-	ncfg := noise.DefaultGeneratorConfig()
-	ncfg.Pattern = noise.AlltoallBully
-	gen, err := noise.FromAllocation(fabric, bully, ncfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gen.Start(1 << 50)
 
-	collector, err := telemetry.NewCollector(fabric, telemetry.Config{
-		IntervalCycles:   40_000,
-		TopLinks:         3,
-		TrackGroupMatrix: true,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	collector.Start(1 << 50)
-
-	comm, err := mpi.NewComm(fabric, job, mpi.Config{
-		Routing: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} },
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 	w := &workloads.Alltoall{MessageBytes: 16 << 10, Iterations: 2}
-	start := engine.Now()
-	if err := comm.Run(w.Run); err != nil {
+	res, err := job.Run(w, dragonfly.RunOptions{Routing: dragonfly.StaticRouting(mode)})
+	if err != nil {
 		log.Fatal(err)
 	}
+	collector := sys.Telemetry()
 	collector.Stop()
 	collector.Flush()
 
 	maxUtil, _ := collector.Series("max-util")
 	stall, _ := collector.Series("stall-ratio")
 	fmt.Printf("=== routing %s (%s) ===\n", mode, mode.Name())
-	fmt.Printf("alltoall time: %d cycles over %d telemetry intervals\n", engine.Now()-start, len(collector.Samples()))
+	fmt.Printf("alltoall time: %d cycles over %d telemetry intervals\n", res.Time(), len(collector.Samples()))
 	fmt.Printf("max link utilization: mean %.3f, peak %.3f; hotspot intervals (>=80%%): %d\n",
 		stats.Mean(maxUtil), stats.Max(maxUtil), len(collector.HotspotIntervals(0.8)))
 	fmt.Printf("job-observed stall ratio (mean per interval): %.3f\n", stats.Mean(stall))

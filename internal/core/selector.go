@@ -152,6 +152,20 @@ type Stats struct {
 	Switches uint64
 }
 
+// Add accumulates another selector's statistics into s, for aggregating the
+// per-rank selectors of one job.
+func (s *Stats) Add(other Stats) {
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+	s.DefaultMessages += other.DefaultMessages
+	s.DefaultBytes += other.DefaultBytes
+	s.BiasMessages += other.BiasMessages
+	s.BiasBytes += other.BiasBytes
+	s.Evaluations += other.Evaluations
+	s.CounterReads += other.CounterReads
+	s.Switches += other.Switches
+}
+
 // DefaultTrafficFraction returns the fraction of bytes sent using the default
 // adaptive routing (the percentage reported under each bar of the paper's
 // Figures 8-10).

@@ -20,9 +20,9 @@ import (
 	"fmt"
 	"sort"
 
+	"dragonfly"
 	"dragonfly/internal/core"
 	"dragonfly/internal/harness"
-	"dragonfly/internal/mpi"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/stats"
@@ -229,50 +229,19 @@ func singleSetup(build func() RoutingSetup) func() []RoutingSetup {
 
 // DefaultSetup is the paper's "Default" configuration: ADAPTIVE_0 for
 // everything, ADAPTIVE_1 for alltoall.
-func DefaultSetup() RoutingSetup {
-	return RoutingSetup{
-		Name:     "Default",
-		Provider: func(int) mpi.RoutingProvider { return mpi.DefaultRouting() },
-	}
-}
+func DefaultSetup() RoutingSetup { return dragonfly.DefaultRouting() }
 
-// HighBiasSetup is the static Adaptive-with-High-Bias configuration.
+// HighBiasSetup is the static Adaptive-with-High-Bias configuration, under
+// the short name the paper's result tables use.
 func HighBiasSetup() RoutingSetup {
-	return RoutingSetup{
-		Name:     "HighBias",
-		Provider: func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: routing.AdaptiveHighBias} },
-	}
+	s := dragonfly.StaticRouting(routing.AdaptiveHighBias)
+	s.Name = "HighBias"
+	return s
 }
 
 // AppAwareSetup is the paper's application-aware routing library, one selector
 // per rank.
-func AppAwareSetup(cfg core.Config) RoutingSetup {
-	var selectors []*core.Selector
-	return RoutingSetup{
-		Name: "AppAware",
-		Provider: func(int) mpi.RoutingProvider {
-			s := core.MustNew(cfg)
-			selectors = append(selectors, s)
-			return mpi.AppAwareRouting{Selector: s}
-		},
-		Stats: func() core.Stats {
-			var agg core.Stats
-			for _, s := range selectors {
-				st := s.Stats()
-				agg.Messages += st.Messages
-				agg.Bytes += st.Bytes
-				agg.DefaultMessages += st.DefaultMessages
-				agg.DefaultBytes += st.DefaultBytes
-				agg.BiasMessages += st.BiasMessages
-				agg.BiasBytes += st.BiasBytes
-				agg.Evaluations += st.Evaluations
-				agg.CounterReads += st.CounterReads
-				agg.Switches += st.Switches
-			}
-			return agg
-		},
-	}
-}
+func AppAwareSetup(cfg core.Config) RoutingSetup { return dragonfly.AppAwareWith(cfg) }
 
 // StandardSetups returns the three configurations compared in Figures 8-10.
 // It has the harness setup-factory signature, so specs can use it directly.

@@ -5,118 +5,113 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dragonfly"
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/counters"
 	"dragonfly/internal/mpi"
 	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
-	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/workloads"
 )
 
-// Env is the private simulated system of one trial: topology, event engine,
-// fabric and allocation RNG, all seeded from the trial seed. An Env is built
-// fresh per trial and never shared, so everything on it may be used without
-// synchronization inside the trial body.
+// Env is the private simulated system of one trial. It is a thin adapter over
+// the public dragonfly.System facade: the trial harness contributes only the
+// seed derivation and the measurement loop, while the system wiring
+// (topology, engine, fabric, allocation RNG) comes from dragonfly.New. An Env
+// is built fresh per trial and never shared, so everything on it may be used
+// without synchronization inside the trial body.
 type Env struct {
 	// Spec is the declaration this environment was built from.
 	Spec TrialSpec
 	// Seed is the derived trial seed (see TrialSeed).
 	Seed int64
-	// Topo is the constructed topology.
+	// Sys is the public-facade system the trial runs on. Trial bodies may use
+	// it directly (System.JobFromNodes + Job.Run cover most measurements).
+	Sys *dragonfly.System
+	// Topo is the constructed topology (same as Sys.Topology()).
 	Topo *topo.Topology
-	// Engine is the trial's discrete-event engine.
+	// Engine is the trial's discrete-event engine (same as Sys.Engine()).
 	Engine *sim.Engine
-	// Fabric is the simulated network.
+	// Fabric is the simulated network (same as Sys.Fabric()).
 	Fabric *network.Fabric
-	// Rng drives allocation placement and other trial-local choices.
+	// Rng drives allocation placement and other trial-local choices (same
+	// stream as Sys.Rand()).
 	Rng *rand.Rand
 }
 
 // NewEnv builds the simulated system a trial runs on.
 func NewEnv(spec TrialSpec, seed int64) (*Env, error) {
-	t, err := topo.New(spec.Geometry)
-	if err != nil {
-		return nil, err
+	opts := []dragonfly.Option{
+		dragonfly.WithGeometry(spec.Geometry),
+		dragonfly.WithSeed(seed),
 	}
-	params := routing.DefaultParams()
 	if spec.RoutingParams != nil {
-		params = *spec.RoutingParams
+		opts = append(opts, dragonfly.WithRouting(*spec.RoutingParams))
 	}
-	pol, err := routing.NewPolicy(t, params)
-	if err != nil {
-		return nil, err
-	}
-	engine := sim.NewEngine(seed)
-	ncfg := network.DefaultConfig()
 	if spec.Network != nil {
-		ncfg = *spec.Network
+		opts = append(opts, dragonfly.WithNetworkConfig(*spec.Network))
 	}
-	fab, err := network.New(engine, t, pol, ncfg)
+	sys, err := dragonfly.New(opts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Env{
 		Spec:   spec,
 		Seed:   seed,
-		Topo:   t,
-		Engine: engine,
-		Fabric: fab,
-		Rng:    rand.New(rand.NewSource(seed)),
+		Sys:    sys,
+		Topo:   sys.Topology(),
+		Engine: sys.Engine(),
+		Fabric: sys.Fabric(),
+		Rng:    sys.Rand(),
 	}, nil
 }
 
-// AllocateJob places an n-node job with the given policy, capping n at the
-// machine size.
+// AllocateJob places an n-node job with the given policy.
+//
+// Unlike dragonfly.System.Allocate (which fails with ErrJobTooLarge), the
+// request is clamped to the free nodes of the machine. This clamp is
+// load-bearing for the experiment runners: suite-level flags like -nodes
+// apply one job size to several geometries, and trials on the smaller
+// geometries are expected to run machine-filling jobs rather than fail.
+// TestAllocateJobClampsToMachine pins the behaviour.
 func (e *Env) AllocateJob(policy alloc.Policy, n int) (*alloc.Allocation, error) {
-	if n > e.Topo.NumNodes() {
-		n = e.Topo.NumNodes()
+	if free := e.Sys.FreeNodes(); n > free {
+		n = free
 	}
-	return alloc.Allocate(e.Topo, policy, n, e.Rng, nil)
+	j, err := e.Sys.Allocate(policy, n)
+	if err != nil {
+		return nil, err
+	}
+	return j.Allocation(), nil
 }
 
 // AllocatePair returns a two-node allocation of the given topological class.
 func (e *Env) AllocatePair(class topo.AllocationClass) (*alloc.Allocation, error) {
-	a, b, err := alloc.PairForClass(e.Topo, class)
+	j, err := e.Sys.AllocatePair(class)
 	if err != nil {
 		return nil, err
 	}
-	return alloc.NewAllocation(e.Topo, []topo.NodeID{a, b}), nil
+	return j.Allocation(), nil
 }
 
 // StartNoise places a background job on nodes disjoint from the excluded
 // allocations and starts it until DefaultHorizon. It returns nil when there
 // is not enough room for a background job (small test topologies).
+//
+// Allocations built outside the system (alloc.Allocate / alloc.NewAllocation,
+// as some trial bodies do) are registered with it here — via JobFromNodes —
+// so their nodes stay excluded from the noise placement and from any later
+// allocation on this Env.
 func (e *Env) StartNoise(spec NoiseSpec, exclude ...*alloc.Allocation) *noise.Generator {
-	used := alloc.ExcludeSet(exclude...)
-	n := spec.Nodes
-	if free := e.Topo.NumNodes() - len(used); n > free {
-		n = free
+	for _, a := range exclude {
+		if a == nil {
+			continue
+		}
+		e.Sys.JobFromNodes(a.Nodes())
 	}
-	if n < 2 {
-		return nil
-	}
-	a, err := alloc.Allocate(e.Topo, alloc.RandomScatter, n, e.Rng, used)
-	if err != nil {
-		return nil
-	}
-	cfg := noise.DefaultGeneratorConfig()
-	cfg.Pattern = spec.Pattern
-	if spec.IntervalCycles > 0 {
-		cfg.IntervalCycles = spec.IntervalCycles
-	}
-	if spec.MessageBytes > 0 {
-		cfg.MessageBytes = spec.MessageBytes
-	}
-	cfg.Seed = int64(mix64(uint64(e.Seed)) ^ uint64(spec.Pattern))
-	g, err := noise.FromAllocation(e.Fabric, a, cfg)
-	if err != nil {
-		return nil
-	}
-	g.Start(DefaultHorizon)
-	return g
+	return e.Sys.StartNoise(spec)
 }
 
 // JobCounters sums the NIC counters of all nodes of an allocation.
@@ -133,6 +128,9 @@ func JobCounters(f *network.Fabric, a *alloc.Allocation) counters.NIC {
 // does not penalize a single configuration), and returns one Measurement per
 // setup keyed by name. The context is checked between iterations so a
 // cancelled suite stops mid-measurement.
+//
+// This is the harness-only measurement shape; single-setup runs should go
+// through the facade's Job.Run, which Measure mirrors.
 func (e *Env) MeasureSetups(ctx context.Context, a *alloc.Allocation, setups []RoutingSetup,
 	hostNoise func(int) int64, w workloads.Workload, iterations int) (Measurements, error) {
 

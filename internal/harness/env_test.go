@@ -2,10 +2,12 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"dragonfly"
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/mpi"
 	"dragonfly/internal/noise"
@@ -122,5 +124,48 @@ func TestPairAndFixedAllocations(t *testing.T) {
 		if d.RequestPackets != 0 {
 			t.Fatalf("on-node job sent %d NIC packets, want 0", d.RequestPackets)
 		}
+	}
+}
+
+// TestAllocateJobClampsToMachine pins the documented clamp semantics of
+// Env.AllocateJob: a request larger than the machine silently becomes a
+// machine-filling job (suite-level -nodes flags apply one size to several
+// geometries), in deliberate contrast to dragonfly.System.Allocate, which
+// fails such requests with ErrJobTooLarge.
+func TestAllocateJobClampsToMachine(t *testing.T) {
+	env, err := NewEnv(TrialSpec{ID: "clamp", Geometry: testGeometry()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := env.Topo.NumNodes()
+	job, err := env.AllocateJob(alloc.GroupStriped, machine*10)
+	if err != nil {
+		t.Fatalf("AllocateJob(%d) on a %d-node machine: %v", machine*10, machine, err)
+	}
+	if job.Size() != machine {
+		t.Fatalf("clamped job has %d nodes, want the full machine (%d)", job.Size(), machine)
+	}
+
+	// The facade underneath refuses the same request instead of clamping.
+	if _, err := env.Sys.Allocate(alloc.GroupStriped, machine*10); !errors.Is(err, dragonfly.ErrJobTooLarge) {
+		t.Fatalf("System.Allocate past machine size: err = %v, want ErrJobTooLarge", err)
+	}
+
+	// The clamp must track occupancy: with a background job already placed,
+	// an oversized request fills the remaining free nodes instead of failing.
+	env2, err := NewEnv(TrialSpec{ID: "clamp2", Geometry: testGeometry()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := env2.StartNoise(NoiseSpec{Pattern: noise.UniformRandom, Nodes: 4}); g == nil {
+		t.Fatal("no room for the background job on a fresh machine")
+	}
+	free := env2.Sys.FreeNodes()
+	job2, err := env2.AllocateJob(alloc.GroupStriped, machine*10)
+	if err != nil {
+		t.Fatalf("AllocateJob with %d free nodes: %v", free, err)
+	}
+	if job2.Size() != free {
+		t.Fatalf("clamped job has %d nodes, want the free count (%d)", job2.Size(), free)
 	}
 }

@@ -15,34 +15,24 @@ package harness
 import (
 	"context"
 
+	"dragonfly"
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/core"
 	"dragonfly/internal/counters"
-	"dragonfly/internal/mpi"
 	"dragonfly/internal/network"
-	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
-	"dragonfly/internal/sim"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/workloads"
 )
 
 // DefaultHorizon is the deadline handed to background noise generators;
 // trials complete far before it.
-const DefaultHorizon sim.Time = 1 << 50
+const DefaultHorizon = dragonfly.DefaultHorizon
 
-// RoutingSetup names a routing configuration under test.
-type RoutingSetup struct {
-	// Name is the label used in result tables ("Default", "HighBias",
-	// "AppAware").
-	Name string
-	// Provider builds the per-rank routing provider. Called once per rank per
-	// allocation so that stateful selectors are rank-private.
-	Provider func(rank int) mpi.RoutingProvider
-	// Stats, if non-nil, returns the aggregated selector statistics after the
-	// measurement (only meaningful for selector-driven setups).
-	Stats func() core.Stats
-}
+// RoutingSetup names a routing configuration under test. It is the facade's
+// Routing type: the standard configurations come from dragonfly.DefaultRouting,
+// dragonfly.StaticRouting and dragonfly.AppAware.
+type RoutingSetup = dragonfly.Routing
 
 // Measurement is the result of measuring one routing setup on one workload.
 type Measurement struct {
@@ -60,19 +50,9 @@ type Measurements = map[string]*Measurement
 
 // NoiseSpec declares the background (interfering) job of a trial. All values
 // are concrete — callers apply their own scaling before declaring the spec —
-// and the generator seed is derived from the trial seed.
-type NoiseSpec struct {
-	// Pattern is the traffic pattern of the background job.
-	Pattern noise.Pattern
-	// Nodes is the requested size of the background job; it is capped to the
-	// free nodes of the machine, and no job is started when fewer than two
-	// nodes remain.
-	Nodes int
-	// IntervalCycles overrides the mean inter-message gap when > 0.
-	IntervalCycles int64
-	// MessageBytes overrides the background message size when > 0.
-	MessageBytes int64
-}
+// and the generator seed is derived from the trial seed. It is the facade's
+// NoiseConfig type.
+type NoiseSpec = dragonfly.NoiseConfig
 
 // TrialSpec declares one simulated run: how to build the system and what to
 // measure on it. The zero values of the system fields select the library

@@ -48,6 +48,66 @@ func TestModeStrings(t *testing.T) {
 	}
 }
 
+// TestParseModeRoundTrip pins the full String/Name/ParseMode contract: every
+// mode round-trips through its canonical MPICH_GNI-style string, the
+// documented short aliases parse to the right mode, names are unique, and
+// unknown strings fail.
+func TestParseModeRoundTrip(t *testing.T) {
+	all := []Mode{Adaptive, IncreasinglyMinimalBias, AdaptiveLowBias,
+		AdaptiveHighBias, MinHash, NonMinHash, InOrder}
+
+	seenString := make(map[string]Mode)
+	seenName := make(map[string]Mode)
+	for _, m := range all {
+		s := m.String()
+		if prev, dup := seenString[s]; dup {
+			t.Fatalf("modes %v and %v share String %q", prev, m, s)
+		}
+		seenString[s] = m
+		n := m.Name()
+		if prev, dup := seenName[n]; dup {
+			t.Fatalf("modes %v and %v share Name %q", prev, m, n)
+		}
+		seenName[n] = m
+
+		back, err := ParseMode(s)
+		if err != nil {
+			t.Fatalf("ParseMode(%v.String() = %q): %v", m, s, err)
+		}
+		if back != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", s, back, m)
+		}
+	}
+
+	aliases := map[string]Mode{
+		"adaptive":  Adaptive,
+		"Adaptive":  Adaptive,
+		"imb":       IncreasinglyMinimalBias,
+		"low-bias":  AdaptiveLowBias,
+		"high-bias": AdaptiveHighBias,
+	}
+	for s, want := range aliases {
+		got, err := ParseMode(s)
+		if err != nil {
+			t.Fatalf("ParseMode(alias %q): %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("ParseMode(%q) = %v, want %v", s, got, want)
+		}
+	}
+
+	for _, s := range []string{"", "ADAPTIVE_4", "adaptive_0", "min_hash",
+		"Adaptive with High Bias", "appaware", "default"} {
+		if got, err := ParseMode(s); err == nil {
+			t.Fatalf("ParseMode(%q) = %v, want error", s, got)
+		}
+	}
+	// The parser must not accept the formatted form of an out-of-range mode.
+	if got, err := ParseMode(Mode(200).String()); err == nil {
+		t.Fatalf("ParseMode(%q) = %v, want error", Mode(200).String(), got)
+	}
+}
+
 func TestIsAdaptive(t *testing.T) {
 	adaptive := []Mode{Adaptive, IncreasinglyMinimalBias, AdaptiveLowBias, AdaptiveHighBias}
 	static := []Mode{MinHash, NonMinHash, InOrder}

@@ -1,0 +1,174 @@
+package dragonfly
+
+import (
+	"context"
+	"fmt"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/mpi"
+	"dragonfly/internal/sim"
+)
+
+// Job is a set of nodes allocated to one application on a System. Running a
+// workload on it builds an MPI-style communicator (one rank per allocated
+// node) and drives the simulation until the workload completes.
+type Job struct {
+	sys   *System
+	alloc *alloc.Allocation
+}
+
+// System returns the system the job is allocated on.
+func (j *Job) System() *System { return j.sys }
+
+// Allocation returns the underlying allocation (escape hatch for subsystems
+// that work on allocations, like the trial harness and the scheduler).
+func (j *Job) Allocation() *alloc.Allocation { return j.alloc }
+
+// Nodes returns the allocated nodes in rank order.
+func (j *Job) Nodes() []NodeID { return j.alloc.Nodes() }
+
+// Size returns the number of ranks (allocated nodes).
+func (j *Job) Size() int { return j.alloc.Size() }
+
+// String summarizes the job's placement.
+func (j *Job) String() string { return j.alloc.String() }
+
+// Counters sums the current NIC counters over the job's nodes. Subtract two
+// snapshots to isolate a phase; Run does this per iteration automatically.
+func (j *Job) Counters() Counters {
+	var total Counters
+	for _, n := range j.alloc.Nodes() {
+		total.Add(j.sys.fabric.NodeCounters(n))
+	}
+	return total
+}
+
+// RunOptions configures one Job.Run call. The zero value runs a single
+// iteration under the Cray default routing.
+type RunOptions struct {
+	// Routing selects the routing configuration; the zero value means
+	// DefaultRouting().
+	Routing Routing
+	// Iterations is the number of measured repetitions (minimum 1). The
+	// communicator (and any selector state) persists across iterations.
+	Iterations int
+	// HostNoise, if non-nil, samples a host-side delay in cycles at every
+	// point-to-point operation, modelling OS noise.
+	HostNoise func(rank int) int64
+	// Verb is the RDMA verb used for payload transfers.
+	Verb Verb
+	// Context, if non-nil, is checked between iterations so a cancelled
+	// suite aborts mid-run.
+	Context context.Context
+	// RecordDeliveries captures every message delivery of the run into
+	// Result.Deliveries. It claims the fabric's delivery observer for the
+	// duration of the run, so it cannot be combined with an external message
+	// log attached to the same fabric.
+	RecordDeliveries bool
+}
+
+// Result is what one Job.Run measured.
+type Result struct {
+	// Setup is the name of the routing configuration that ran.
+	Setup string
+	// Times holds one execution time (cycles) per iteration.
+	Times []sim.Time
+	// Deltas holds the per-iteration NIC counter deltas summed over the job.
+	Deltas []Counters
+	// Counters is the total NIC counter delta over all iterations.
+	Counters Counters
+	// TileFlits and TileStalled are the router-tile deltas (incoming flits
+	// and stalled flits) over the routers the job's nodes attach to.
+	TileFlits, TileStalled uint64
+	// SelectorStats aggregates the application-aware selector statistics
+	// when the routing configuration provides them (see HasSelectorStats).
+	SelectorStats SelectorStats
+	// HasSelectorStats reports whether SelectorStats is meaningful.
+	HasSelectorStats bool
+	// Deliveries are the raw message completions of the run, recorded only
+	// when RunOptions.RecordDeliveries was set.
+	Deliveries []Delivery
+}
+
+// Time returns the total execution time over all iterations.
+func (r Result) Time() sim.Time {
+	var total sim.Time
+	for _, t := range r.Times {
+		total += t
+	}
+	return total
+}
+
+// TimesFloat returns the per-iteration times as float64s, the shape the stats
+// helpers consume.
+func (r Result) TimesFloat() []float64 {
+	out := make([]float64, len(r.Times))
+	for i, t := range r.Times {
+		out[i] = float64(t)
+	}
+	return out
+}
+
+// Run executes the workload on the job's ranks under the given options and
+// returns the measurement. Each rank runs the workload body as a goroutine in
+// ordinary blocking style; a cooperative scheduler interleaves them with the
+// event engine, so the run is deterministic.
+func (j *Job) Run(w Workload, opts RunOptions) (Result, error) {
+	if w == nil {
+		return Result{}, fmt.Errorf("dragonfly: nil workload")
+	}
+	rc := opts.Routing
+	if rc.Provider == nil {
+		rc = DefaultRouting()
+	}
+	iters := opts.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	comm, err := mpi.NewComm(j.sys.fabric, j.alloc, mpi.Config{
+		Routing:   rc.Provider,
+		Verb:      opts.Verb,
+		HostNoise: opts.HostNoise,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Setup: rc.Name}
+	if opts.RecordDeliveries {
+		j.sys.fabric.SetDeliveryObserver(func(d Delivery) {
+			res.Deliveries = append(res.Deliveries, d)
+		})
+		defer j.sys.fabric.SetDeliveryObserver(nil)
+	}
+	routers := j.alloc.Routers()
+	flits0, stalled0 := j.sys.fabric.IncomingFlits(routers)
+	for iter := 0; iter < iters; iter++ {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return res, fmt.Errorf("dragonfly: cancelled at iteration %d: %w", iter, err)
+			}
+		}
+		before := j.Counters()
+		start := j.sys.engine.Now()
+		if err := comm.Run(w.Run); err != nil {
+			return res, err
+		}
+		for r := 0; r < comm.Size(); r++ {
+			if err := comm.Rank(r).Err(); err != nil {
+				return res, fmt.Errorf("dragonfly: rank %d: %w", r, err)
+			}
+		}
+		res.Times = append(res.Times, j.sys.engine.Now()-start)
+		res.Deltas = append(res.Deltas, j.Counters().Sub(before))
+	}
+	flits1, stalled1 := j.sys.fabric.IncomingFlits(routers)
+	res.TileFlits, res.TileStalled = flits1-flits0, stalled1-stalled0
+	for _, d := range res.Deltas {
+		res.Counters.Add(d)
+	}
+	if rc.Stats != nil {
+		res.SelectorStats = rc.Stats()
+		res.HasSelectorStats = true
+	}
+	return res, nil
+}

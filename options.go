@@ -1,0 +1,103 @@
+package dragonfly
+
+import (
+	"fmt"
+
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topo"
+)
+
+// config is the resolved set of options a System is built from.
+type config struct {
+	geometry  Geometry
+	routing   RoutingParams
+	network   NetworkConfig
+	seed      int64
+	noise     *NoiseConfig
+	telemetry *TelemetryConfig
+}
+
+// defaultConfig mirrors the library defaults every consumer used to spell out
+// by hand.
+func defaultConfig() config {
+	return config{
+		geometry: topo.SmallConfig(4),
+		routing:  routing.DefaultParams(),
+		network:  network.DefaultConfig(),
+		seed:     1,
+	}
+}
+
+// Option configures a System under construction.
+type Option func(*config) error
+
+// WithGeometry selects the Dragonfly geometry (groups, chassis, blades,
+// nodes, link widths). See SmallGeometry, MediumGeometry and AriesGeometry
+// for the standard shapes.
+func WithGeometry(g Geometry) Option {
+	return func(c *config) error {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+		c.geometry = g
+		return nil
+	}
+}
+
+// WithRouting overrides the UGAL routing parameters (candidate counts and the
+// per-mode bias levels).
+func WithRouting(p RoutingParams) Option {
+	return func(c *config) error {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		c.routing = p
+		return nil
+	}
+}
+
+// WithNetworkConfig overrides the fabric configuration (link bandwidths,
+// buffering, credit delays, packetization).
+func WithNetworkConfig(n NetworkConfig) Option {
+	return func(c *config) error {
+		if err := n.Validate(); err != nil {
+			return err
+		}
+		c.network = n
+		return nil
+	}
+}
+
+// WithSeed sets the seed every random stream of the system derives from: the
+// event engine, the allocation RNG and the background-noise generators.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithNoise declares a background interfering job. It is started when the
+// first job is allocated, on nodes disjoint from that job, exactly like an
+// explicit System.StartNoise call at that point.
+func WithNoise(cfg NoiseConfig) Option {
+	return func(c *config) error {
+		if cfg.Nodes < 2 {
+			return fmt.Errorf("dragonfly: WithNoise needs at least 2 nodes, got %d", cfg.Nodes)
+		}
+		spec := cfg
+		c.noise = &spec
+		return nil
+	}
+}
+
+// WithTelemetry installs a fabric-wide telemetry collector, started at
+// construction; read it back with System.Telemetry.
+func WithTelemetry(cfg TelemetryConfig) Option {
+	return func(c *config) error {
+		spec := cfg
+		c.telemetry = &spec
+		return nil
+	}
+}

@@ -1,0 +1,92 @@
+package dragonfly
+
+import (
+	"dragonfly/internal/core"
+	"dragonfly/internal/mpi"
+)
+
+// Routing names one routing configuration a job can run under: a factory for
+// per-rank routing providers plus an optional statistics hook. The standard
+// configurations come from StaticRouting, DefaultRouting and AppAware;
+// applications with bespoke selection logic fill the struct directly (the
+// fields are the same extension point the experiment suite uses).
+type Routing struct {
+	// Name labels the configuration in results and tables.
+	Name string
+	// Provider builds the per-rank routing provider. It is called once per
+	// rank per run, so stateful selectors are rank-private.
+	Provider func(rank int) RoutingProvider
+	// Stats, if non-nil, returns the aggregated selector statistics after a
+	// run (only meaningful for selector-driven configurations).
+	Stats func() SelectorStats
+}
+
+// StaticRouting applies one routing mode to every message.
+func StaticRouting(mode Mode) Routing {
+	return Routing{
+		Name:     mode.String(),
+		Provider: func(int) RoutingProvider { return mpi.StaticRouting{Mode: mode} },
+	}
+}
+
+// DefaultRouting is the system default the paper compares against: ADAPTIVE_0
+// for everything except alltoall, which uses ADAPTIVE_1 (Increasingly Minimal
+// Bias), mirroring Cray MPICH's defaults.
+func DefaultRouting() Routing {
+	return Routing{
+		Name:     "Default",
+		Provider: func(int) RoutingProvider { return mpi.DefaultRouting() },
+	}
+}
+
+// AppAware is the paper's application-aware routing library with the default
+// Algorithm 1 tunables: one selector per rank, statistics aggregated over the
+// job.
+func AppAware() Routing { return AppAwareWith(core.DefaultConfig()) }
+
+// AppAwareWith is AppAware with explicit selector tunables. The returned
+// Routing is reusable across Run calls like the static configurations: the
+// per-rank selector set starts fresh each time a communicator is built (the
+// provider is always asked for rank 0 first), so Stats covers only the most
+// recent run.
+func AppAwareWith(cfg SelectorConfig) Routing {
+	var selectors []*core.Selector
+	return Routing{
+		Name: "AppAware",
+		Provider: func(rank int) RoutingProvider {
+			if rank == 0 {
+				selectors = selectors[:0]
+			}
+			s := core.MustNew(cfg)
+			selectors = append(selectors, s)
+			return mpi.AppAwareRouting{Selector: s}
+		},
+		Stats: func() SelectorStats {
+			var agg SelectorStats
+			for _, s := range selectors {
+				agg.Add(s.Stats())
+			}
+			return agg
+		},
+	}
+}
+
+// ParseRouting maps a command-line routing name to a configuration:
+// "default" (the Cray MPICH defaults), "appaware" (the paper's library), or
+// any MPICH_GNI_ROUTING_MODE-style mode name accepted by ParseMode.
+func ParseRouting(s string) (Routing, error) {
+	switch s {
+	case "default":
+		return DefaultRouting(), nil
+	case "appaware":
+		return AppAware(), nil
+	default:
+		mode, err := ParseMode(s)
+		if err != nil {
+			return Routing{}, err
+		}
+		r := StaticRouting(mode)
+		r.Name = s
+		return r, nil
+	}
+}

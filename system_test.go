@@ -1,0 +1,327 @@
+package dragonfly_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dragonfly"
+	"dragonfly/internal/workloads"
+)
+
+func testSystem(t *testing.T, opts ...dragonfly.Option) *dragonfly.System {
+	t.Helper()
+	opts = append([]dragonfly.Option{
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(2)),
+		dragonfly.WithSeed(7),
+	}, opts...)
+	sys, err := dragonfly.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewDefaults(t *testing.T) {
+	sys, err := dragonfly.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Topology().Config().Groups; got != 4 {
+		t.Fatalf("default geometry has %d groups, want 4", got)
+	}
+	if sys.Seed() != 1 {
+		t.Fatalf("default seed = %d, want 1", sys.Seed())
+	}
+	if sys.Telemetry() != nil {
+		t.Fatal("telemetry collector installed without WithTelemetry")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := dragonfly.New(dragonfly.WithGeometry(dragonfly.Geometry{})); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if _, err := dragonfly.New(dragonfly.WithRouting(dragonfly.RoutingParams{})); err == nil {
+		t.Fatal("invalid routing params accepted")
+	}
+	if _, err := dragonfly.New(dragonfly.WithNetworkConfig(dragonfly.NetworkConfig{})); err == nil {
+		t.Fatal("invalid network config accepted")
+	}
+	if _, err := dragonfly.New(dragonfly.WithNoise(dragonfly.NoiseConfig{Nodes: 1})); err == nil {
+		t.Fatal("one-node noise job accepted")
+	}
+}
+
+func TestAllocateTooLarge(t *testing.T) {
+	sys := testSystem(t)
+	machine := sys.Topology().NumNodes()
+	if _, err := sys.Allocate(dragonfly.GroupStriped, machine+1); !errors.Is(err, dragonfly.ErrJobTooLarge) {
+		t.Fatalf("Allocate(machine+1): err = %v, want ErrJobTooLarge", err)
+	}
+	if _, err := sys.Allocate(dragonfly.GroupStriped, 0); err == nil {
+		t.Fatal("Allocate(0) accepted")
+	}
+	// A machine-filling job is fine; the next allocation of any size is not.
+	if _, err := sys.Allocate(dragonfly.Contiguous, machine); err != nil {
+		t.Fatalf("Allocate(machine): %v", err)
+	}
+	if _, err := sys.Allocate(dragonfly.Contiguous, 1); !errors.Is(err, dragonfly.ErrJobTooLarge) {
+		t.Fatalf("Allocate on a full machine: err = %v, want ErrJobTooLarge", err)
+	}
+}
+
+func TestJobsAreDisjoint(t *testing.T) {
+	sys := testSystem(t)
+	a, err := sys.Allocate(dragonfly.RandomScatter, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Allocate(dragonfly.RandomScatter, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[dragonfly.NodeID]bool)
+	for _, n := range a.Nodes() {
+		seen[n] = true
+	}
+	for _, n := range b.Nodes() {
+		if seen[n] {
+			t.Fatalf("node %d allocated to both jobs", n)
+		}
+	}
+	if free := sys.FreeNodes(); free != sys.Topology().NumNodes()-12 {
+		t.Fatalf("FreeNodes = %d, want %d", free, sys.Topology().NumNodes()-12)
+	}
+}
+
+func TestAllocatePairCollision(t *testing.T) {
+	sys := testSystem(t)
+	// Contiguous takes the low node ids, which is exactly where the
+	// deterministic pair nodes live.
+	if _, err := sys.Allocate(dragonfly.Contiguous, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AllocatePair(dragonfly.InterGroups); err == nil {
+		t.Fatal("AllocatePair handed out nodes that belong to another job")
+	}
+	// On a fresh system the same pair is fine.
+	fresh := testSystem(t)
+	pair, err := fresh.AllocatePair(dragonfly.InterGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Size() != 2 {
+		t.Fatalf("pair has %d nodes, want 2", pair.Size())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	measure := func() dragonfly.Result {
+		sys := testSystem(t)
+		job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.StartNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseUniform, Nodes: 4})
+		res, err := job.Run(&workloads.PingPong{MessageBytes: 4 << 10, Iterations: 2},
+			dragonfly.RunOptions{Routing: dragonfly.StaticRouting(dragonfly.Adaptive), Iterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := measure(), measure()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("two identically-built systems measured differently:\n%+v\n%+v", r1, r2)
+	}
+	if len(r1.Times) != 3 || len(r1.Deltas) != 3 {
+		t.Fatalf("got %d times / %d deltas, want 3 / 3", len(r1.Times), len(r1.Deltas))
+	}
+	if r1.Time() <= 0 {
+		t.Fatal("run took no simulated time")
+	}
+	if r1.Counters.RequestPackets == 0 {
+		t.Fatal("run moved no NIC packets")
+	}
+	if r1.TileFlits == 0 {
+		t.Fatal("run moved no tile flits through the job's routers")
+	}
+}
+
+func TestRunAppAwareStats(t *testing.T) {
+	sys := testSystem(t)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(&workloads.Alltoall{MessageBytes: 16 << 10, Iterations: 1},
+		dragonfly.RunOptions{Routing: dragonfly.AppAware(), Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasSelectorStats {
+		t.Fatal("AppAware run reported no selector stats")
+	}
+	if res.SelectorStats.Messages == 0 {
+		t.Fatal("selector saw no messages")
+	}
+	if res.Setup != "AppAware" {
+		t.Fatalf("Setup = %q, want AppAware", res.Setup)
+	}
+}
+
+// TestAppAwareRoutingReusable pins that one AppAware Routing value can be
+// used for several runs like the static configurations: each run's stats
+// cover only that run, not an accumulation over all previous ones.
+func TestAppAwareRoutingReusable(t *testing.T) {
+	sys := testSystem(t)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := dragonfly.AppAware()
+	w := &workloads.Alltoall{MessageBytes: 16 << 10, Iterations: 1}
+	r1, err := job.Run(w, dragonfly.RunOptions{Routing: aware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := job.Run(w, dragonfly.RunOptions{Routing: aware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SelectorStats.Messages != r1.SelectorStats.Messages {
+		t.Fatalf("second run reports %d selector messages, want %d (per-run stats, not cumulative)",
+			r2.SelectorStats.Messages, r1.SelectorStats.Messages)
+	}
+}
+
+// TestNoiseGeneratorsIndependent pins that two background jobs with the same
+// pattern draw from different random streams rather than moving in lockstep.
+func TestNoiseGeneratorsIndependent(t *testing.T) {
+	sys := testSystem(t)
+	g1 := sys.StartNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseUniform, Nodes: 4})
+	g2 := sys.StartNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseUniform, Nodes: 4})
+	if g1 == nil || g2 == nil {
+		t.Fatal("generators did not start")
+	}
+	sys.Engine().RunUntil(2_000_000)
+	if g1.MessagesSent() == 0 || g2.MessagesSent() == 0 {
+		t.Fatalf("generators idle: %d / %d messages", g1.MessagesSent(), g2.MessagesSent())
+	}
+	// Same node count, same pattern, same horizon: identical seeds would send
+	// identical message counts in lockstep. (Deterministic for a fixed seed.)
+	if g1.MessagesSent() == g2.MessagesSent() && g1.BytesSent() == g2.BytesSent() {
+		t.Fatalf("same-pattern generators are in lockstep: %d messages / %d bytes each",
+			g1.MessagesSent(), g1.BytesSent())
+	}
+}
+
+func TestRunRecordsDeliveries(t *testing.T) {
+	sys := testSystem(t)
+	job, err := sys.AllocatePair(dragonfly.InterGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(&workloads.PingPong{MessageBytes: 1 << 10, Iterations: 4},
+		dragonfly.RunOptions{RecordDeliveries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deliveries) == 0 {
+		t.Fatal("RecordDeliveries captured nothing")
+	}
+	for _, d := range res.Deliveries {
+		if d.DeliveredAt < d.SendStart {
+			t.Fatalf("delivery finished before it started: %+v", d)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sys := testSystem(t)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = job.Run(&workloads.PingPong{MessageBytes: 1 << 10, Iterations: 1},
+		dragonfly.RunOptions{Context: ctx, Iterations: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestWithNoiseStartsOnFirstAllocation(t *testing.T) {
+	sys := testSystem(t, dragonfly.WithNoise(dragonfly.NoiseConfig{
+		Pattern: dragonfly.NoiseUniform, Nodes: 4,
+	}))
+	if len(sys.NoiseGenerators()) != 0 {
+		t.Fatal("noise started before any job was allocated")
+	}
+	job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := sys.NoiseGenerators()
+	if len(gens) != 1 {
+		t.Fatalf("got %d noise generators after first allocation, want 1", len(gens))
+	}
+	// The background job fits next to the measured job and actually runs.
+	if gens[0].NumNodes()+job.Size() > sys.Topology().NumNodes() {
+		t.Fatal("background job overlaps the measured job")
+	}
+	sys.Engine().RunUntil(200_000)
+	if gens[0].MessagesSent() == 0 {
+		t.Fatal("background generator sent nothing")
+	}
+}
+
+func TestStartNoiseNoRoom(t *testing.T) {
+	sys := testSystem(t)
+	machine := sys.Topology().NumNodes()
+	if _, err := sys.Allocate(dragonfly.Contiguous, machine-1); err != nil {
+		t.Fatal(err)
+	}
+	if g := sys.StartNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseUniform, Nodes: 8}); g != nil {
+		t.Fatal("noise generator started with a single free node")
+	}
+}
+
+func TestWithTelemetryCollects(t *testing.T) {
+	sys := testSystem(t, dragonfly.WithTelemetry(dragonfly.TelemetryConfig{IntervalCycles: 10_000}))
+	col := sys.Telemetry()
+	if col == nil {
+		t.Fatal("WithTelemetry installed no collector")
+	}
+	job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(&workloads.Alltoall{MessageBytes: 8 << 10, Iterations: 1},
+		dragonfly.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	col.Stop()
+	col.Flush()
+	if len(col.Samples()) == 0 {
+		t.Fatal("collector took no samples during the run")
+	}
+}
+
+func TestParseRouting(t *testing.T) {
+	for _, name := range []string{"default", "appaware", "ADAPTIVE_0", "ADAPTIVE_3", "MIN_HASH"} {
+		rc, err := dragonfly.ParseRouting(name)
+		if err != nil {
+			t.Fatalf("ParseRouting(%q): %v", name, err)
+		}
+		if rc.Provider == nil {
+			t.Fatalf("ParseRouting(%q) has no provider", name)
+		}
+	}
+	if _, err := dragonfly.ParseRouting("nope"); err == nil {
+		t.Fatal("ParseRouting accepted an unknown name")
+	}
+}
