@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check examples test race bench quick
+.PHONY: all build vet fmt-check examples test race bench bench-suite quick
 
 all: build vet fmt-check examples test
 
@@ -29,13 +29,33 @@ examples:
 test:
 	$(GO) test ./...
 
-# race runs the harness and cmd tests under the race detector (the full
-# experiment suite under -race is slow; CI runs it, locally target the pool).
+# race runs the harness, facade and cmd tests under the race detector (the
+# full experiment suite under -race is slow; CI runs it, locally target the
+# pool and the facade the pool reuses systems through).
 race:
-	$(GO) test -race ./internal/harness/... ./cmd/...
+	$(GO) test -race ./internal/harness/... . ./cmd/...
 
-# bench compares the serial and parallel trial executors on the suite run.
+# bench runs the full 19-benchmark suite (one testing.B per paper figure/
+# table plus the serial/parallel executor pair) with -benchmem and stores the
+# raw `go test -json` stream as BENCH_$(BENCH_LABEL).json. The benchmark
+# result lines inside are standard Go benchmark format; extract them for
+# benchstat with:
+#   jq -r 'select(.Action=="output") | .Output' BENCH_a.json > a.txt
+#   benchstat a.txt b.txt
+# See EXPERIMENTS.md "Benchmarking & regression methodology".
+BENCH_LABEL ?= local
+BENCH_PATTERN ?= .
+BENCH_COUNT ?= 1
+# (Direct redirection, not a tee pipeline: the target must fail — and not
+# leave a half-written artifact looking authoritative — when the run fails.)
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x \
+		-count $(BENCH_COUNT) -timeout 60m -json . > BENCH_$(BENCH_LABEL).json \
+		|| { rm -f BENCH_$(BENCH_LABEL).json; exit 1; }
+	@tail -n 5 BENCH_$(BENCH_LABEL).json
+
+# bench-suite is the quick serial-vs-parallel executor comparison.
+bench-suite:
 	$(GO) test -bench Suite -benchtime 1x -run '^$$' .
 
 # quick is the fastest end-to-end smoke: build plus one tiny experiment.

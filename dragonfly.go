@@ -71,6 +71,10 @@ type System struct {
 	// used tracks every node handed out to a job or a background noise
 	// generator, so later allocations land on free nodes.
 	used map[topo.NodeID]bool
+	// epoch counts Resets; jobs remember the epoch they were allocated in so
+	// running a stale job after a Reset fails loudly instead of measuring a
+	// rewound machine.
+	epoch uint64
 	// pendingNoise is the WithNoise spec, started when the first job is
 	// allocated (so the background job can exclude the measured job's nodes).
 	pendingNoise *NoiseConfig
@@ -136,6 +140,40 @@ func MustNew(opts ...Option) *System {
 		panic(err)
 	}
 	return s
+}
+
+// Reset rewinds the system to the state New would have produced with the same
+// options and the given seed, without re-deriving the topology or the routing
+// tables: the event engine drops all pending events and restarts its clock
+// and random stream, the fabric rewinds link/NIC state and counters, jobs and
+// background noise are forgotten, and a WithNoise spec is re-armed for the
+// next allocation. A reset system is byte-identical in behaviour to a freshly
+// built one — the trial harness relies on this to run sweeps of thousands of
+// trials over one constructed machine.
+//
+// Jobs allocated before the Reset must not be used afterwards.
+func (s *System) Reset(seed int64) error {
+	s.cfg.seed = seed
+	s.epoch++
+	s.engine.Reset(seed)
+	s.fabric.Reset()
+	s.rng.Seed(seed)
+	clear(s.used)
+	s.noiseGens = s.noiseGens[:0]
+	s.pendingNoise = nil
+	if s.cfg.noise != nil {
+		spec := *s.cfg.noise
+		s.pendingNoise = &spec
+	}
+	if s.cfg.telemetry != nil {
+		col, err := telemetry.NewCollector(s.fabric, *s.cfg.telemetry)
+		if err != nil {
+			return err
+		}
+		col.Start(DefaultHorizon)
+		s.collector = col
+	}
+	return nil
 }
 
 // Topology returns the underlying topology (read-only escape hatch).
@@ -228,7 +266,7 @@ func (s *System) adopt(a *alloc.Allocation) *Job {
 	for _, n := range a.Nodes() {
 		s.used[n] = true
 	}
-	j := &Job{sys: s, alloc: a}
+	j := &Job{sys: s, alloc: a, epoch: s.epoch}
 	if s.pendingNoise != nil {
 		spec := *s.pendingNoise
 		s.pendingNoise = nil

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenHashes pins the rendered quick-scale output of two representative
+// experiments, captured before the typed-event-engine refactor (PR 3). The
+// simulation core — event ordering, fabric timing, RNG stream consumption —
+// must reproduce these tables byte-for-byte: any engine or fabric change that
+// alters them is a behavioural change of the simulator, not an optimization,
+// and needs an explicit decision (and a new hash) in review.
+//
+// The hashes cover QuickOptions() with the default seed; the trials run
+// through the worker-pool harness with system reuse enabled, so this also
+// guards the Reset path end to end.
+var goldenHashes = map[string]string{
+	"fig3":       "bb1847397d1c7e32321c93690fd84668aec9e32697c89443d92a52bc1b53dee5",
+	"noisesweep": "0e43040912c901179124acad65d6ce6dd8ceda90499f65416fe613be836111bd",
+}
+
+func TestGoldenTables(t *testing.T) {
+	for id, want := range goldenHashes {
+		id, want := id, want
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			opts := QuickOptions()
+			opts.Parallel = 1
+			tables, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256([]byte(renderAll(t, tables)))
+			if got := hex.EncodeToString(sum[:]); got != want {
+				t.Fatalf("%s quick-scale output drifted from the golden hash:\n got %s\nwant %s\n"+
+					"The simulation core no longer reproduces pre-refactor results byte-for-byte. "+
+					"If the model change is intentional, update goldenHashes.", id, got, want)
+			}
+		})
+	}
+}

@@ -43,17 +43,14 @@ type Env struct {
 
 // NewEnv builds the simulated system a trial runs on.
 func NewEnv(spec TrialSpec, seed int64) (*Env, error) {
-	opts := []dragonfly.Option{
-		dragonfly.WithGeometry(spec.Geometry),
-		dragonfly.WithSeed(seed),
-	}
-	if spec.RoutingParams != nil {
-		opts = append(opts, dragonfly.WithRouting(*spec.RoutingParams))
-	}
-	if spec.Network != nil {
-		opts = append(opts, dragonfly.WithNetworkConfig(*spec.Network))
-	}
-	sys, err := dragonfly.New(opts...)
+	return newEnv(spec, seed, nil)
+}
+
+// newEnv builds an Env, drawing the System from the worker's pool when one is
+// provided (reusing a same-configuration System via Reset) and building a
+// fresh one otherwise.
+func newEnv(spec TrialSpec, seed int64, pool *systemPool) (*Env, error) {
+	sys, err := pool.acquire(spec, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -123,8 +123,13 @@ func (x *Executor) Run(ctx context.Context, specs []TrialSpec) ([]Result, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a single-slot system pool: consecutive trials
+			// with the same geometry/routing/fabric configuration reuse one
+			// constructed System through Reset instead of rebuilding topology
+			// and routing tables from scratch.
+			pool := &systemPool{}
 			for i := range indexes {
-				finish(i, x.runOne(runCtx, i, specs[i]))
+				finish(i, x.runOne(runCtx, i, specs[i], pool))
 			}
 		}()
 	}
@@ -154,13 +159,16 @@ func (x *Executor) Run(ctx context.Context, specs []TrialSpec) ([]Result, error)
 }
 
 // runOne executes a single trial, converting panics into errors so one broken
-// trial cannot take down the whole suite.
-func (x *Executor) runOne(ctx context.Context, i int, spec TrialSpec) (res Result) {
+// trial cannot take down the whole suite. The worker's system pool is
+// invalidated when the trial panics, since a panic mid-simulation can leave
+// the cached system in an undefined state.
+func (x *Executor) runOne(ctx context.Context, i int, spec TrialSpec, pool *systemPool) (res Result) {
 	start := time.Now()
 	res = Result{Index: i, Spec: spec, Seed: TrialSeed(x.Seed, spec.ID)}
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
+			pool.invalidate()
 			res.Err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
@@ -168,7 +176,7 @@ func (x *Executor) runOne(ctx context.Context, i int, spec TrialSpec) (res Resul
 		res.Err = err
 		return res
 	}
-	env, err := NewEnv(spec, res.Seed)
+	env, err := newEnv(spec, res.Seed, pool)
 	if err != nil {
 		res.Err = err
 		return res

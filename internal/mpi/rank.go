@@ -23,6 +23,10 @@ type Rank struct {
 	queued   bool
 	finished bool
 
+	// computeDone flags the completion of the (single) outstanding Compute
+	// event; see Compute and HandleEvent.
+	computeDone bool
+
 	sendSeq uint64
 	err     error
 }
@@ -96,14 +100,21 @@ func (r *Rank) Compute(cycles int64) {
 		return
 	}
 	doneAt := r.comm.engine().Now() + cycles
-	completed := false
-	r.comm.engine().Schedule(doneAt, func() {
-		completed = true
-		r.comm.markRunnable(r)
-	})
-	for !completed {
+	// Compute blocks until its completion event has fired, so at most one is
+	// outstanding per rank and a flag on the rank replaces a per-call closure
+	// (this is the hottest non-fabric scheduling site: every host-noise sample
+	// and selector overhead charge lands here).
+	r.computeDone = false
+	r.comm.engine().ScheduleCall(doneAt, r, 0, 0)
+	for !r.computeDone {
 		r.block()
 	}
+}
+
+// HandleEvent implements sim.Handler for Compute completion events.
+func (r *Rank) HandleEvent(_ *sim.Engine, _, _ int64) {
+	r.computeDone = true
+	r.comm.markRunnable(r)
 }
 
 // hostNoise charges the configured host-side noise, if any.

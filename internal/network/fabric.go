@@ -46,7 +46,9 @@ type Delivery struct {
 // last flit to the destination NIC.
 func (d Delivery) TransmissionCycles() int64 { return d.DeliveredAt - d.SendStart }
 
-// sendOp is an in-flight message on a NIC's injection queue.
+// sendOp is an in-flight message on a NIC's injection queue. Ops are recycled
+// through the fabric's free-list (getOp/putOp), so steady-state message
+// traffic allocates nothing per send.
 type sendOp struct {
 	src, dst topo.NodeID
 	size     int64
@@ -62,7 +64,10 @@ type sendOp struct {
 	delta        counters.NIC
 }
 
-// linkState is the dynamic state of one directed link.
+// linkState is the dynamic state of one directed link. States live in one
+// flat slice indexed by LinkID; the fields a packet hop touches (the timing
+// words and the tile counters) sit together so a hop stays within one or two
+// cache lines.
 type linkState struct {
 	// freeAt is the time the link finishes serializing the last accepted packet.
 	freeAt sim.Time
@@ -83,10 +88,7 @@ type linkState struct {
 func (ls *linkState) serialization(flits int) int64 {
 	v := int64(flits) * ls.cyclesPerFlitNum
 	v = (v + ls.cyclesPerFlitDen - 1) / ls.cyclesPerFlitDen
-	if v < 1 {
-		v = 1
-	}
-	return v
+	return max(v, 1)
 }
 
 func (ls *linkState) advance(now, newFreeAt sim.Time) {
@@ -95,7 +97,15 @@ func (ls *linkState) advance(now, newFreeAt sim.Time) {
 	ls.freeAt = newFreeAt
 }
 
-// nicState is the dynamic state of one NIC.
+// reset rewinds the dynamic fields (timing view, counters) while keeping the
+// topology-derived constants.
+func (ls *linkState) reset() {
+	ls.freeAt, ls.prevFreeAt, ls.lastChange = 0, 0, 0
+	ls.tile = counters.Tile{}
+}
+
+// nicState is the dynamic state of one NIC. Like linkState, NICs live in one
+// flat slice indexed by NodeID.
 type nicState struct {
 	counters counters.NIC
 
@@ -107,9 +117,73 @@ type nicState struct {
 	windowIdx int
 	windowLen int
 
+	// queue[qhead:] are the pending ops, oldest first. A head index (rather
+	// than re-slicing) keeps the backing array stable so the queue reaches a
+	// steady state with no per-message growth.
 	queue     []*sendOp
+	qhead     int
 	injecting bool
 }
+
+// headOp returns the oldest pending op without removing it.
+func (n *nicState) headOp() *sendOp { return n.queue[n.qhead] }
+
+// queueLen reports the number of pending ops.
+func (n *nicState) queueLen() int { return len(n.queue) - n.qhead }
+
+// pushOp appends an op, compacting the consumed prefix when it dominates the
+// backing array. (popOp resets qhead to 0 whenever the queue drains, so
+// qhead < len(queue) or both are zero here.)
+func (n *nicState) pushOp(op *sendOp) {
+	if n.qhead > 32 && n.qhead*2 >= len(n.queue) {
+		m := copy(n.queue, n.queue[n.qhead:])
+		n.queue = n.queue[:m]
+		n.qhead = 0
+	}
+	n.queue = append(n.queue, op)
+}
+
+// popOp removes and returns the oldest pending op.
+func (n *nicState) popOp() *sendOp {
+	op := n.queue[n.qhead]
+	n.queue[n.qhead] = nil
+	n.qhead++
+	if n.qhead == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.qhead = 0
+	}
+	return op
+}
+
+// reset rewinds the dynamic state, returning still-queued ops to the pool.
+func (n *nicState) reset(f *Fabric) {
+	n.counters = counters.NIC{}
+	n.readyAt = 0
+	for i := range n.window {
+		n.window[i] = 0
+	}
+	n.windowIdx, n.windowLen = 0, 0
+	for i := n.qhead; i < len(n.queue); i++ {
+		f.putOp(n.queue[i])
+		n.queue[i] = nil
+	}
+	n.queue = n.queue[:0]
+	n.qhead = 0
+	n.injecting = false
+}
+
+// pendingDelivery is a completed transfer waiting for its delivery event to
+// fire; slots are pooled like sendOps.
+type pendingDelivery struct {
+	d    Delivery
+	done func(Delivery)
+}
+
+// Typed-event opcodes dispatched through Fabric.HandleEvent.
+const (
+	fabricOpInject int64 = iota
+	fabricOpDeliver
+)
 
 // Fabric simulates the Dragonfly interconnect. It is not safe for concurrent
 // use; all access must happen from the simulation goroutine (event callbacks).
@@ -122,6 +196,12 @@ type Fabric struct {
 	links []linkState
 	nics  []nicState
 	rng   *rand.Rand
+
+	// opFree and pending/pendingFree pool the per-message bookkeeping so the
+	// steady-state send path performs no allocation.
+	opFree      []*sendOp
+	pending     []pendingDelivery
+	pendingFree []int32
 
 	packetsInjected uint64
 	onDelivery      func(Delivery)
@@ -144,10 +224,7 @@ func New(engine *sim.Engine, t *topo.Topology, policy *routing.Policy, cfg Confi
 	for i, l := range t.Links() {
 		ls := &f.links[i]
 		ls.cyclesPerFlitNum = cfg.CyclesPerFlit
-		ls.cyclesPerFlitDen = int64(l.Width)
-		if ls.cyclesPerFlitDen < 1 {
-			ls.cyclesPerFlitDen = 1
-		}
+		ls.cyclesPerFlitDen = max(int64(l.Width), 1)
 		ls.propagation = cfg.propagationFor(l.Type)
 		ls.bufferCycles = ls.serialization(cfg.BufferFlits)
 	}
@@ -164,6 +241,31 @@ func MustNew(engine *sim.Engine, t *topo.Topology, policy *routing.Policy, cfg C
 		panic(err)
 	}
 	return f
+}
+
+// Reset rewinds the fabric to the state New would produce over the already
+// reset engine: link timing views, NIC counters and windows, injection
+// queues, the packet counter, the delivery observer and the private random
+// stream (reseeded from the engine's current seed). Topology-derived
+// constants (serialization rates, propagation, buffer depths) are kept, which
+// is the point: resetting is O(state) instead of O(topology construction).
+// Reset must be called after the engine's own Reset so no stale packet events
+// remain scheduled.
+func (f *Fabric) Reset() {
+	for i := range f.links {
+		f.links[i].reset()
+	}
+	for i := range f.nics {
+		f.nics[i].reset(f)
+	}
+	for i := range f.pending {
+		f.pending[i] = pendingDelivery{}
+	}
+	f.pending = f.pending[:0]
+	f.pendingFree = f.pendingFree[:0]
+	f.packetsInjected = 0
+	f.onDelivery = nil
+	f.rng.Seed(f.engine.Seed() ^ 0x5f3759df)
 }
 
 // Engine returns the simulation engine driving the fabric.
@@ -221,11 +323,7 @@ func (f *Fabric) QueueCycles(id topo.LinkID, now int64) int64 {
 	if now-ls.lastChange < f.cfg.CreditDelay {
 		freeAt = ls.prevFreeAt
 	}
-	backlog := freeAt - now
-	if backlog < 0 {
-		return 0
-	}
-	return backlog
+	return max(freeAt-now, 0)
 }
 
 // PropagationCycles implements routing.CongestionView.
@@ -237,6 +335,71 @@ func (f *Fabric) SerializationCycles(id topo.LinkID, flits int) int64 {
 }
 
 var _ routing.CongestionView = (*Fabric)(nil)
+
+// --- typed engine events ---------------------------------------------------
+
+// HandleEvent implements sim.Handler: packet progression (NIC injection) and
+// delivery completion are driven by typed events instead of per-event
+// closures, so the steady-state hot path of the simulation allocates nothing.
+func (f *Fabric) HandleEvent(_ *sim.Engine, op, arg int64) {
+	switch op {
+	case fabricOpInject:
+		f.inject(topo.NodeID(arg))
+	case fabricOpDeliver:
+		f.completeDelivery(int32(arg))
+	}
+}
+
+// scheduleInject arms the NIC injection event for node src at time at.
+func (f *Fabric) scheduleInject(at sim.Time, src topo.NodeID) {
+	f.engine.ScheduleCall(at, f, fabricOpInject, int64(src))
+}
+
+// scheduleDelivery parks (d, done) in a pooled pending slot and schedules the
+// typed completion event at d.DeliveredAt.
+func (f *Fabric) scheduleDelivery(d Delivery, done func(Delivery)) {
+	var idx int32
+	if n := len(f.pendingFree); n > 0 {
+		idx = f.pendingFree[n-1]
+		f.pendingFree = f.pendingFree[:n-1]
+	} else {
+		f.pending = append(f.pending, pendingDelivery{})
+		idx = int32(len(f.pending) - 1)
+	}
+	f.pending[idx] = pendingDelivery{d: d, done: done}
+	f.engine.ScheduleCall(d.DeliveredAt, f, fabricOpDeliver, int64(idx))
+}
+
+// completeDelivery fires the observer and the sender's done callback for one
+// pending delivery, releasing its slot first so callbacks can immediately
+// schedule new transfers.
+func (f *Fabric) completeDelivery(idx int32) {
+	pd := f.pending[idx]
+	f.pending[idx] = pendingDelivery{}
+	f.pendingFree = append(f.pendingFree, idx)
+	if f.onDelivery != nil {
+		f.onDelivery(pd.d)
+	}
+	if pd.done != nil {
+		pd.done(pd.d)
+	}
+}
+
+// getOp takes a send op from the pool (or allocates the pool's next one).
+func (f *Fabric) getOp() *sendOp {
+	if n := len(f.opFree); n > 0 {
+		op := f.opFree[n-1]
+		f.opFree = f.opFree[:n-1]
+		return op
+	}
+	return &sendOp{}
+}
+
+// putOp recycles a finished op.
+func (f *Fabric) putOp(op *sendOp) {
+	*op = sendOp{}
+	f.opFree = append(f.opFree, op)
+}
 
 // --- message transfer ------------------------------------------------------
 
@@ -261,31 +424,21 @@ func (f *Fabric) Send(src, dst topo.NodeID, size int64, opts SendOptions, done f
 			LastResponseAt: now + delay,
 		}
 		if done != nil || f.onDelivery != nil {
-			f.engine.Schedule(d.DeliveredAt, func() {
-				if f.onDelivery != nil {
-					f.onDelivery(d)
-				}
-				if done != nil {
-					done(d)
-				}
-			})
+			f.scheduleDelivery(d, done)
 		}
 		return nil
 	}
-	op := &sendOp{
-		src: src, dst: dst, size: size, opts: opts, done: done,
-		packetsTotal: f.cfg.PacketsForSize(size),
-		start:        now,
-	}
+	op := f.getOp()
+	op.src, op.dst, op.size, op.opts, op.done = src, dst, size, opts, done
+	op.packetsTotal = f.cfg.PacketsForSize(size)
+	op.start = now
 	op.packetsLeft = op.packetsTotal
 	nic := &f.nics[src]
-	nic.queue = append(nic.queue, op)
+	nic.pushOp(op)
 	if !nic.injecting {
 		nic.injecting = true
-		if nic.readyAt < now {
-			nic.readyAt = now
-		}
-		f.engine.Schedule(nic.readyAt, func() { f.inject(src) })
+		nic.readyAt = max(nic.readyAt, now)
+		f.scheduleInject(nic.readyAt, src)
 	}
 	return nil
 }
@@ -313,29 +466,21 @@ func (n *nicState) recordResponse(resp sim.Time) {
 // reschedules itself until the queue drains.
 func (f *Fabric) inject(src topo.NodeID) {
 	nic := &f.nics[src]
-	if len(nic.queue) == 0 {
+	if nic.queueLen() == 0 {
 		nic.injecting = false
 		return
 	}
-	op := nic.queue[0]
+	op := nic.headOp()
 	now := f.engine.Now()
-	if nic.readyAt < now {
-		nic.readyAt = now
-	}
+	nic.readyAt = max(nic.readyAt, now)
 
-	chunkPackets := int64(f.cfg.PacketsPerChunk)
-	if chunkPackets > op.packetsLeft {
-		chunkPackets = op.packetsLeft
-	}
+	chunkPackets := min(int64(f.cfg.PacketsPerChunk), op.packetsLeft)
 	flitsPerPacket := f.cfg.RequestFlitsPerPacket(op.opts.Verb)
 	chunkFlits := int(chunkPackets) * flitsPerPacket
 
 	// Window constraint: the oldest outstanding packet must have been
 	// acknowledged before a new one can enter the request window.
-	ready := nic.readyAt
-	if w := nic.windowConstraint(); w > ready {
-		ready = w
-	}
+	ready := max(nic.readyAt, nic.windowConstraint())
 
 	srcRouter := f.topo.RouterOfNode(op.src)
 	dstRouter := f.topo.RouterOfNode(op.dst)
@@ -349,28 +494,23 @@ func (f *Fabric) inject(src topo.NodeID) {
 	var arrival sim.Time
 	if len(dec.Path) == 0 {
 		// Same router: deliver through the processor tiles only.
-		injStart = ready
 		arrival = injStart + int64(chunkFlits)*f.cfg.CyclesPerFlit + 2*f.cfg.ProcessorDelay
 	} else {
 		first := &f.links[dec.Path[0]]
-		injStart = maxTime(ready, first.freeAt)
+		injStart = max(ready, first.freeAt)
 		// Credit back-pressure from the second hop propagates to the NIC when
 		// the downstream buffer cannot absorb the packet.
 		if len(dec.Path) > 1 {
 			second := &f.links[dec.Path[1]]
-			if t := second.freeAt - second.bufferCycles; t > injStart {
-				injStart = t
-			}
+			injStart = max(injStart, second.freeAt-second.bufferCycles)
 		}
 		t := injStart
 		for i, id := range dec.Path {
 			ls := &f.links[id]
-			start := maxTime(t, ls.freeAt)
+			start := max(t, ls.freeAt)
 			if i+1 < len(dec.Path) {
 				next := &f.links[dec.Path[i+1]]
-				if bp := next.freeAt - next.bufferCycles; bp > start {
-					start = bp
-				}
+				start = max(start, next.freeAt-next.bufferCycles)
 			}
 			ser := ls.serialization(chunkFlits)
 			ls.tile.FlitsTraversed += uint64(chunkFlits)
@@ -394,7 +534,7 @@ func (f *Fabric) inject(src topo.NodeID) {
 			continue
 		}
 		ls := &f.links[revID]
-		start := maxTime(respArrival, ls.freeAt)
+		start := max(respArrival, ls.freeAt)
 		ser := ls.serialization(respFlits)
 		ls.tile.FlitsTraversed += uint64(respFlits)
 		ls.tile.BusyCycles += uint64(ser)
@@ -426,44 +566,28 @@ func (f *Fabric) inject(src topo.NodeID) {
 	op.delta.Add(delta)
 
 	op.packetsLeft -= chunkPackets
-	if arrival > op.deliveredAt {
-		op.deliveredAt = arrival
-	}
-	if respArrival > op.lastResponse {
-		op.lastResponse = respArrival
-	}
+	op.deliveredAt = max(op.deliveredAt, arrival)
+	op.lastResponse = max(op.lastResponse, respArrival)
 
 	if op.packetsLeft <= 0 {
 		op.senderDone = nic.readyAt
-		nic.queue = nic.queue[1:]
+		nic.popOp()
 		d := Delivery{
 			Src: op.src, Dst: op.dst, Size: op.size, Tag: op.opts.Tag,
 			SendStart: op.start, SenderDone: op.senderDone,
 			DeliveredAt: op.deliveredAt, LastResponseAt: op.lastResponse,
 			Counters: op.delta,
 		}
-		if op.done != nil || f.onDelivery != nil {
-			f.engine.Schedule(d.DeliveredAt, func() {
-				if f.onDelivery != nil {
-					f.onDelivery(d)
-				}
-				if op.done != nil {
-					op.done(d)
-				}
-			})
+		done := op.done
+		f.putOp(op)
+		if done != nil || f.onDelivery != nil {
+			f.scheduleDelivery(d, done)
 		}
 	}
 
-	if len(nic.queue) == 0 {
+	if nic.queueLen() == 0 {
 		nic.injecting = false
 		return
 	}
-	f.engine.Schedule(nic.readyAt, func() { f.inject(src) })
-}
-
-func maxTime(a, b sim.Time) sim.Time {
-	if a > b {
-		return a
-	}
-	return b
+	f.scheduleInject(nic.readyAt, src)
 }

@@ -181,7 +181,9 @@ func (p Params) Validate() error {
 
 // Decision is the outcome of routing one packet.
 type Decision struct {
-	// Path is the selected source route.
+	// Path is the selected source route. It aliases the issuing Policy's
+	// reusable storage: it is valid until the next Route call on that Policy
+	// and must be copied if retained longer.
 	Path topo.Path
 	// Minimal reports whether the selected path is one of the minimal candidates.
 	Minimal bool
@@ -190,9 +192,26 @@ type Decision struct {
 }
 
 // Policy selects paths for packets according to a routing mode.
+//
+// A Policy owns reusable candidate-path storage: the Path inside a returned
+// Decision aliases that storage and is only valid until the next Route call
+// on the same Policy. The fabric consumes the path within the same event;
+// callers that retain paths must copy them. Policies are consequently not
+// safe for concurrent use — one Policy per simulated system, like the engine
+// and the fabric.
 type Policy struct {
 	topo   *topo.Topology
 	params Params
+
+	// pathBuf holds the adaptive modes' candidate paths; hashScratch holds
+	// the single path of the hashed/in-order modes; hashRng is the
+	// deterministic per-packet stream of the hashed modes, reseeded per
+	// packet instead of reallocated. Together they make Route allocation-free
+	// after warm-up — path sampling runs once per simulated packet and used
+	// to dominate the simulator's allocation profile.
+	pathBuf     topo.PathBuffer
+	hashScratch topo.Path
+	hashRng     *rand.Rand
 }
 
 // NewPolicy builds a routing policy over the given topology.
@@ -233,14 +252,24 @@ func (p *Policy) pathCost(path topo.Path, flits int, view CongestionView, now in
 }
 
 // hashPath returns a deterministic path for the hashed (non-adaptive) modes.
+// The result aliases the policy's scratch storage.
 func (p *Policy) hashPath(src, dst topo.RouterID, hash uint64, minimal bool) topo.Path {
 	// Derive a deterministic RNG from the hash so that different hash values
 	// spread over the available paths while identical headers reuse the path.
-	rng := rand.New(rand.NewSource(int64(hash ^ uint64(src)<<32 ^ uint64(dst))))
-	if minimal {
-		return p.topo.MinimalPath(src, dst, rng)
+	// Reseeding the policy's private Rand replays the exact stream a freshly
+	// constructed one would produce, without the per-packet allocation.
+	seed := int64(hash ^ uint64(src)<<32 ^ uint64(dst))
+	if p.hashRng == nil {
+		p.hashRng = rand.New(rand.NewSource(seed))
+	} else {
+		p.hashRng.Seed(seed)
 	}
-	return p.topo.NonMinimalPath(src, dst, rng)
+	if minimal {
+		p.hashScratch = p.topo.AppendMinimalPath(p.hashScratch[:0], src, dst, p.hashRng)
+	} else {
+		p.hashScratch = p.topo.AppendNonMinimalPath(p.hashScratch[:0], src, dst, p.hashRng)
+	}
+	return p.hashScratch
 }
 
 // bias returns the additive non-minimal bias for the mode, given the length of
@@ -286,12 +315,13 @@ func (p *Policy) Route(mode Mode, src, dst topo.RouterID, flits int, hash uint64
 		path := p.hashPath(src, dst, hash, false)
 		return Decision{Path: path, Minimal: false, Cost: p.pathCost(path, flits, view, now)}
 	case InOrder:
-		path := p.topo.MinimalPath(src, dst, nil)
+		p.hashScratch = p.topo.AppendMinimalPath(p.hashScratch[:0], src, dst, nil)
+		path := p.hashScratch
 		return Decision{Path: path, Minimal: true, Cost: p.pathCost(path, flits, view, now)}
 	}
 
 	// Adaptive modes: sample candidates and pick the cheapest after bias.
-	minimal, nonMinimal := p.topo.SamplePaths(src, dst,
+	minimal, nonMinimal := p.topo.SamplePathsInto(&p.pathBuf, src, dst,
 		p.params.MinimalCandidates, p.params.NonMinimalCandidates, rng)
 
 	best := Decision{Cost: int64(1) << 62}

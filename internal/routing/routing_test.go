@@ -175,7 +175,10 @@ func TestMinHashDeterministicPerHash(t *testing.T) {
 	p, tt := newTestPolicy(t, 3)
 	src := tt.RouterAt(topo.Coord{Group: 0, Chassis: 0, Blade: 0})
 	dst := tt.RouterAt(topo.Coord{Group: 1, Chassis: 1, Blade: 1})
+	// Decision.Path aliases the policy's scratch storage, so the first path
+	// must be copied before issuing the second Route call.
 	a := p.Route(MinHash, src, dst, 5, 1234, ZeroView{}, 0, nil)
+	a.Path = append(topo.Path(nil), a.Path...)
 	b := p.Route(MinHash, src, dst, 5, 1234, ZeroView{}, 0, nil)
 	if len(a.Path) != len(b.Path) {
 		t.Fatal("MinHash not deterministic for equal hash")
@@ -192,6 +195,7 @@ func TestInOrderSinglePath(t *testing.T) {
 	src := tt.RouterAt(topo.Coord{Group: 0, Chassis: 0, Blade: 0})
 	dst := tt.RouterAt(topo.Coord{Group: 1, Chassis: 1, Blade: 2})
 	first := p.Route(InOrder, src, dst, 5, 0, ZeroView{}, 0, rand.New(rand.NewSource(3)))
+	first.Path = append(topo.Path(nil), first.Path...) // survives later Route calls
 	for i := 0; i < 20; i++ {
 		d := p.Route(InOrder, src, dst, 5, uint64(i), ZeroView{}, 0, rand.New(rand.NewSource(int64(i))))
 		if !d.Minimal {

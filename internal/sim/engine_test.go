@@ -72,14 +72,156 @@ func TestCancel(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
 	ev := e.Schedule(10, func() { fired = true })
-	e.Cancel(ev)
-	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	if !e.Cancel(ev) {
+		t.Fatal("first Cancel returned false")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel removed something")
+	}
+	if e.Cancel(0) {
+		t.Fatal("zero EventID cancelled something")
+	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if fired {
 		t.Fatal("cancelled event fired")
+	}
+}
+
+// TestCancelAfterFired pins the stale-handle semantics: cancelling an event
+// that has already executed is a no-op even when its slot has been recycled
+// for a newer event. (The historical container/heap implementation trusted a
+// possibly-stale index here; the generation counter makes staleness explicit.)
+func TestCancelAfterFired(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	old := e.Schedule(10, func() { fired++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The next event recycles the fired event's slot.
+	replacement := e.Schedule(20, func() { fired++ })
+	if e.Cancel(old) {
+		t.Fatal("cancelling a fired event reported success")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatal("stale Cancel removed the recycled slot's new event")
+	}
+	if e.Cancel(replacement) {
+		t.Fatal("cancelling the second fired event reported success")
+	}
+}
+
+// TestCancelDoesNotCorruptQueue interleaves schedules, cancels, double
+// cancels and stale cancels and checks the surviving events still fire in
+// exact (At, seq) order.
+func TestCancelDoesNotCorruptQueue(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	var ids []EventID
+	for i := 0; i < 50; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Time(100-i), func() { fired = append(fired, i) }))
+	}
+	// Cancel every third event, some of them twice.
+	for i := 0; i < 50; i += 3 {
+		if !e.Cancel(ids[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+		e.Cancel(ids[i]) // double cancel: must be a no-op
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 50; i += 3 {
+		want++ // cancelled
+	}
+	if len(fired) != 50-want {
+		t.Fatalf("fired %d events, want %d", len(fired), 50-want)
+	}
+	// Scheduled at Time(100-i): later i fires earlier. Check ordering.
+	for k := 1; k < len(fired); k++ {
+		if fired[k-1] < fired[k] {
+			t.Fatalf("events fired out of time order: %v", fired)
+		}
+	}
+	// Stale cancels after the run must all be no-ops.
+	for i, id := range ids {
+		if e.Cancel(id) {
+			t.Fatalf("stale cancel of event %d succeeded after run", i)
+		}
+	}
+}
+
+type recordingHandler struct {
+	calls [][2]int64
+}
+
+func (h *recordingHandler) HandleEvent(e *Engine, a, b int64) {
+	h.calls = append(h.calls, [2]int64{a, b})
+}
+
+func TestTypedEvents(t *testing.T) {
+	e := NewEngine(1)
+	h := &recordingHandler{}
+	e.ScheduleCall(20, h, 2, 20)
+	e.ScheduleCall(10, h, 1, 10)
+	e.AfterCall(15, h, 3, 15)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{1, 10}, {3, 15}, {2, 20}}
+	if len(h.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", h.calls, want)
+	}
+	for i := range want {
+		if h.calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", h.calls, want)
+		}
+	}
+}
+
+// TestTypedAndClosureInterleave checks typed and closure events share one
+// (At, seq) order.
+func TestTypedAndClosureInterleave(t *testing.T) {
+	e := NewEngine(1)
+	var order []int64
+	h := &recordingHandler{}
+	e.Schedule(5, func() { order = append(order, -1) })
+	e.ScheduleCall(5, h, 1, 0)
+	e.Schedule(5, func() { order = append(order, -2) })
+	e.ScheduleCall(5, h, 2, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != -1 || order[1] != -2 {
+		t.Fatalf("closure order: %v", order)
+	}
+	if len(h.calls) != 2 || h.calls[0][0] != 1 || h.calls[1][0] != 2 {
+		t.Fatalf("typed order: %v", h.calls)
+	}
+}
+
+func TestCancelTyped(t *testing.T) {
+	e := NewEngine(1)
+	h := &recordingHandler{}
+	id := e.ScheduleCall(10, h, 1, 0)
+	if !e.Cancel(id) {
+		t.Fatal("cancel of typed event failed")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.calls) != 0 {
+		t.Fatal("cancelled typed event fired")
 	}
 }
 
@@ -170,6 +312,69 @@ func TestDeterministicRand(t *testing.T) {
 	}
 }
 
+// TestResetMatchesFresh is the engine half of cross-trial reuse: after Reset,
+// the engine must behave byte-identically to a freshly constructed engine —
+// clock, event order, executed counts and random stream.
+func TestResetMatchesFresh(t *testing.T) {
+	run := func(e *Engine) ([]Time, []int64) {
+		var fired []Time
+		var draws []int64
+		for _, at := range []Time{30, 10, 20, 10} {
+			at := at
+			e.Schedule(at, func() {
+				fired = append(fired, e.Now())
+				draws = append(draws, e.Rand().Int63())
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fired, draws
+	}
+	used := NewEngine(7)
+	run(used)             // dirty the engine with a first epoch
+	used.SetEventLimit(2) // must not survive the Reset (fresh engines are unlimited)
+	used.Reset(99)
+
+	fresh := NewEngine(99)
+	fa, da := run(fresh)
+	fb, db := run(used)
+	if len(fa) != len(fb) || len(da) != len(db) {
+		t.Fatal("reset engine ran a different number of events")
+	}
+	for i := range fa {
+		if fa[i] != fb[i] || da[i] != db[i] {
+			t.Fatalf("reset engine diverged at event %d: fresh (%d, %d) vs reset (%d, %d)",
+				i, fa[i], da[i], fb[i], db[i])
+		}
+	}
+	if used.Now() != fresh.Now() || used.ExecutedEvents() != fresh.ExecutedEvents() {
+		t.Fatal("reset engine clock/exec count differs from fresh engine")
+	}
+	if used.Seed() != 99 {
+		t.Fatalf("Seed() after Reset = %d, want 99", used.Seed())
+	}
+}
+
+// TestResetInvalidatesHandles: EventIDs from before a Reset must never cancel
+// events scheduled after it.
+func TestResetInvalidatesHandles(t *testing.T) {
+	e := NewEngine(1)
+	old := e.Schedule(10, func() {})
+	e.Reset(1)
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	if e.Cancel(old) {
+		t.Fatal("pre-Reset handle cancelled a post-Reset event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("post-Reset event did not fire")
+	}
+}
+
 // Property: events always execute in non-decreasing time order, regardless of
 // the insertion order.
 func TestPropertyTimeOrdering(t *testing.T) {
@@ -187,6 +392,43 @@ func TestPropertyTimeOrdering(t *testing.T) {
 			return false
 		}
 		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never disturbs the order of the rest.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(times []uint16, mask []bool) bool {
+		e := NewEngine(7)
+		var fired []Time
+		ids := make([]EventID, len(times))
+		for i, at := range times {
+			at := Time(at)
+			ids[i] = e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		cancelled := 0
+		for i := range ids {
+			if i < len(mask) && mask[i] {
+				if !e.Cancel(ids[i]) {
+					return false
+				}
+				cancelled++
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(times)-cancelled {
 			return false
 		}
 		for i := 1; i < len(fired); i++ {
@@ -223,5 +465,51 @@ func TestPropertyClockMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleRun measures the steady-state cost of the schedule/fire
+// cycle with closure events.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(1, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type benchHandler struct {
+	e *Engine
+	n int64
+	N int64
+}
+
+func (h *benchHandler) HandleEvent(e *Engine, a, b int64) {
+	h.n++
+	if h.n < h.N {
+		e.AfterCall(1, h, 0, 0)
+	}
+}
+
+// BenchmarkScheduleRunTyped measures the same cycle with typed events; it
+// must report zero allocs/op.
+func BenchmarkScheduleRunTyped(b *testing.B) {
+	e := NewEngine(1)
+	h := &benchHandler{e: e, N: int64(b.N)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.AfterCall(1, h, 0, 0)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -20,19 +20,28 @@ const MaxMinimalHops = 5
 // (two concatenated minimal segments via an intermediate group).
 const MaxNonMinimalHops = 10
 
-// intraGroupPath returns one path between two routers of the same group,
-// choosing randomly between the two 2-hop alternatives when they are not
+// The path constructors come in two flavours: the historical allocating form
+// (MinimalPath, NonMinimalPath, SamplePaths) and an appending form
+// (AppendMinimalPath, AppendNonMinimalPath, SamplePathsInto) that reuses
+// caller-owned storage. Both draw from rng in exactly the same order and
+// produce exactly the same links, so they are interchangeable without
+// affecting simulation results; the appending form exists because path
+// sampling runs once per simulated packet and used to dominate the
+// simulator's allocation profile.
+
+// appendIntraGroupPath appends one path between two routers of the same group
+// to p, choosing randomly between the two 2-hop alternatives when they are not
 // directly connected. It panics if the routers are in different groups.
-func (t *Topology) intraGroupPath(src, dst RouterID, rng *rand.Rand) Path {
+func (t *Topology) appendIntraGroupPath(p Path, src, dst RouterID, rng *rand.Rand) Path {
 	if src == dst {
-		return nil
+		return p
 	}
 	cs, cd := t.coords[src], t.coords[dst]
 	if cs.Group != cd.Group {
 		panic(fmt.Sprintf("topo: intraGroupPath called across groups %d and %d", cs.Group, cd.Group))
 	}
 	if id := t.LinkBetween(src, dst); id != InvalidLink {
-		return Path{id}
+		return append(p, id)
 	}
 	// Not directly connected: two hops, either chassis-first or row-first.
 	viaA := t.RouterAt(Coord{cs.Group, cs.Chassis, cd.Blade}) // intra-chassis then row
@@ -53,7 +62,7 @@ func (t *Topology) intraGroupPath(src, dst RouterID, rng *rand.Rand) Path {
 		first = t.LinkBetween(src, other)
 		second = t.LinkBetween(other, dst)
 	}
-	return Path{first, second}
+	return append(p, first, second)
 }
 
 // MinimalPath samples one minimal path from src to dst. For inter-group pairs
@@ -61,18 +70,23 @@ func (t *Topology) intraGroupPath(src, dst RouterID, rng *rand.Rand) Path {
 // two groups; local segments choose randomly among equal-length alternatives.
 // rng may be nil for a deterministic (first-alternative) choice.
 func (t *Topology) MinimalPath(src, dst RouterID, rng *rand.Rand) Path {
+	return t.AppendMinimalPath(nil, src, dst, rng)
+}
+
+// AppendMinimalPath is MinimalPath appending into p instead of allocating.
+func (t *Topology) AppendMinimalPath(p Path, src, dst RouterID, rng *rand.Rand) Path {
 	if src == dst {
-		return nil
+		return p
 	}
 	gs, gd := t.GroupOf(src), t.GroupOf(dst)
 	if gs == gd {
-		return t.intraGroupPath(src, dst, rng)
+		return t.appendIntraGroupPath(p, src, dst, rng)
 	}
 	links := t.GlobalLinks(gs, gd)
 	if len(links) == 0 {
 		// No direct group-to-group connection: fall back to a Valiant path
 		// through an intermediate group that connects to both.
-		return t.throughIntermediateGroup(src, dst, rng)
+		return t.appendThroughIntermediateGroup(p, src, dst, rng)
 	}
 	var gl LinkID
 	if rng != nil {
@@ -81,36 +95,28 @@ func (t *Topology) MinimalPath(src, dst RouterID, rng *rand.Rand) Path {
 		gl = links[0]
 	}
 	l := t.Link(gl)
-	path := t.intraGroupPath(src, l.Src, rng)
-	path = append(path, gl)
-	path = append(path, t.intraGroupPath(l.Dst, dst, rng)...)
-	return path
+	p = t.appendIntraGroupPath(p, src, l.Src, rng)
+	p = append(p, gl)
+	return t.appendIntraGroupPath(p, l.Dst, dst, rng)
 }
 
-// throughIntermediateGroup builds a path src -> (router in group gi) -> dst
-// where gi is a randomly chosen group different from both endpoints' groups
-// and connected to both. It is used both for Valiant non-minimal routing and
-// as a fallback when two groups have no direct link.
-func (t *Topology) throughIntermediateGroup(src, dst RouterID, rng *rand.Rand) Path {
+// appendThroughIntermediateGroup appends a path src -> (router in group gi) ->
+// dst where gi is a randomly chosen group different from both endpoints'
+// groups and connected to both (the candidate set is precomputed per group
+// pair at construction). It is used both for Valiant non-minimal routing and
+// as a fallback when two groups have no direct link. When no usable
+// intermediate group and no direct link exists, p is returned unchanged
+// (the caller treats the pair as unreachable).
+func (t *Topology) appendThroughIntermediateGroup(p Path, src, dst RouterID, rng *rand.Rand) Path {
 	gs, gd := t.GroupOf(src), t.GroupOf(dst)
-	candidates := make([]GroupID, 0, t.cfg.Groups)
-	for g := 0; g < t.cfg.Groups; g++ {
-		gi := GroupID(g)
-		if gi == gs || gi == gd {
-			continue
-		}
-		if len(t.GlobalLinks(gs, gi)) > 0 && len(t.GlobalLinks(gi, gd)) > 0 {
-			candidates = append(candidates, gi)
-		}
-	}
+	candidates := t.viaGroups[int(gs)*t.cfg.Groups+int(gd)]
 	if len(candidates) == 0 {
 		// No usable intermediate group; as a last resort return a direct
-		// minimal path if one exists, else an empty path (caller treats the
-		// pair as unreachable).
+		// minimal path if one exists.
 		if links := t.GlobalLinks(gs, gd); len(links) > 0 {
-			return t.MinimalPath(src, dst, rng)
+			return t.AppendMinimalPath(p, src, dst, rng)
 		}
-		return nil
+		return p
 	}
 	var gi GroupID
 	if rng != nil {
@@ -129,12 +135,11 @@ func (t *Topology) throughIntermediateGroup(src, dst RouterID, rng *rand.Rand) P
 		inL, outL = in[0], out[0]
 	}
 	li, lo := t.Link(inL), t.Link(outL)
-	path := t.intraGroupPath(src, li.Src, rng)
-	path = append(path, inL)
-	path = append(path, t.intraGroupPath(li.Dst, lo.Src, rng)...)
-	path = append(path, outL)
-	path = append(path, t.intraGroupPath(lo.Dst, dst, rng)...)
-	return path
+	p = t.appendIntraGroupPath(p, src, li.Src, rng)
+	p = append(p, inL)
+	p = t.appendIntraGroupPath(p, li.Dst, lo.Src, rng)
+	p = append(p, outL)
+	return t.appendIntraGroupPath(p, lo.Dst, dst, rng)
 }
 
 // NonMinimalPath samples one Valiant-style non-minimal path from src to dst.
@@ -142,13 +147,19 @@ func (t *Topology) throughIntermediateGroup(src, dst RouterID, rng *rand.Rand) P
 // intra-group pairs it traverses a random intermediate router of the same
 // group. rng may be nil for a deterministic choice.
 func (t *Topology) NonMinimalPath(src, dst RouterID, rng *rand.Rand) Path {
+	return t.AppendNonMinimalPath(nil, src, dst, rng)
+}
+
+// AppendNonMinimalPath is NonMinimalPath appending into p instead of
+// allocating.
+func (t *Topology) AppendNonMinimalPath(p Path, src, dst RouterID, rng *rand.Rand) Path {
 	if src == dst {
-		return nil
+		return p
 	}
 	gs, gd := t.GroupOf(src), t.GroupOf(dst)
 	if gs != gd && t.cfg.Groups > 2 {
-		if p := t.throughIntermediateGroup(src, dst, rng); p != nil {
-			return p
+		if q := t.appendThroughIntermediateGroup(p, src, dst, rng); len(q) > len(p) {
+			return q
 		}
 	}
 	// Intra-group (or two-group systems): detour through an intermediate
@@ -169,28 +180,54 @@ func (t *Topology) NonMinimalPath(src, dst RouterID, rng *rand.Rand) Path {
 		}
 	}
 	if via == src || via == dst {
-		return t.MinimalPath(src, dst, rng)
+		return t.AppendMinimalPath(p, src, dst, rng)
 	}
-	path := t.intraGroupPath(src, via, rng)
+	p = t.appendIntraGroupPath(p, src, via, rng)
 	if gs == gd {
-		return append(path, t.intraGroupPath(via, dst, rng)...)
+		return t.appendIntraGroupPath(p, via, dst, rng)
 	}
-	return append(path, t.MinimalPath(via, dst, rng)...)
+	return t.AppendMinimalPath(p, via, dst, rng)
+}
+
+// PathBuffer holds reusable candidate-path storage for SamplePathsInto. The
+// zero value is ready to use. A buffer must not be shared across goroutines;
+// the routing policy owns one per simulated system.
+type PathBuffer struct {
+	minimal    []Path
+	nonMinimal []Path
+}
+
+// growPaths extends ps to n entries, keeping the backing arrays of existing
+// entries for reuse.
+func growPaths(ps []Path, n int) []Path {
+	if cap(ps) < n {
+		ps = append(ps[:cap(ps)], make([]Path, n-cap(ps))...)
+	}
+	return ps[:n]
 }
 
 // SamplePaths returns nMin minimal and nNonMin non-minimal candidate paths,
 // mirroring the Aries UGAL implementation which considers two of each per
 // packet. Candidates may coincide when few distinct paths exist.
 func (t *Topology) SamplePaths(src, dst RouterID, nMin, nNonMin int, rng *rand.Rand) (minimal, nonMinimal []Path) {
-	minimal = make([]Path, 0, nMin)
-	nonMinimal = make([]Path, 0, nNonMin)
+	var buf PathBuffer
+	return t.SamplePathsInto(&buf, src, dst, nMin, nNonMin, rng)
+}
+
+// SamplePathsInto is SamplePaths sampling into buf: the returned slices (and
+// the paths they hold) alias the buffer and are valid until the next call
+// with the same buffer. It draws from rng exactly like SamplePaths, so the
+// two are interchangeable without affecting results.
+func (t *Topology) SamplePathsInto(buf *PathBuffer, src, dst RouterID, nMin, nNonMin int, rng *rand.Rand) (minimal, nonMinimal []Path) {
+	buf.minimal = growPaths(buf.minimal, nMin)
+	buf.nonMinimal = growPaths(buf.nonMinimal, nNonMin)
 	for i := 0; i < nMin; i++ {
-		minimal = append(minimal, t.MinimalPath(src, dst, rng))
+		buf.minimal[i] = t.AppendMinimalPath(buf.minimal[i][:0], src, dst, rng)
 	}
 	for i := 0; i < nNonMin; i++ {
-		nonMinimal = append(nonMinimal, t.NonMinimalPath(src, dst, rng))
+		buf.nonMinimal[i] = t.AppendNonMinimalPath(buf.nonMinimal[i][:0], src, dst, rng)
 	}
-	return minimal, nonMinimal
+	return buf.minimal, buf.nonMinimal
 }
 
 // MinimalHops returns the number of hops of a minimal path between the two

@@ -191,9 +191,20 @@ type Topology struct {
 
 	// adjacency: adj[src][dst] -> LinkID (at most one collapsed link per pair)
 	adj []map[RouterID]LinkID
+	// adjDense is the flattened adjacency matrix (src*NumRouters+dst ->
+	// LinkID, InvalidLink when unconnected). Path construction runs once per
+	// simulated packet, so the per-hop link lookup must be an indexed load,
+	// not a map probe.
+	adjDense []LinkID
 
 	// globalByPair[(g1,g2)] lists links from a router of g1 to a router of g2.
 	globalByPair map[[2]GroupID][]LinkID
+
+	// viaGroups[(gs*Groups)+gd] lists the intermediate groups usable for a
+	// Valiant detour between gs and gd (connected to both, excluding the
+	// endpoints). Precomputed so per-packet non-minimal sampling performs no
+	// connectivity scan and no allocation.
+	viaGroups [][]GroupID
 }
 
 // New builds the topology described by cfg.
@@ -213,7 +224,39 @@ func New(cfg Config) (*Topology, error) {
 	}
 	t.buildLocalLinks()
 	t.buildGlobalLinks()
+	t.buildPathCaches()
 	return t, nil
+}
+
+// buildPathCaches derives the per-packet lookup structures (dense adjacency,
+// Valiant intermediate-group candidates) from the link graph.
+func (t *Topology) buildPathCaches() {
+	n := t.cfg.Routers()
+	t.adjDense = make([]LinkID, n*n)
+	for i := range t.adjDense {
+		t.adjDense[i] = InvalidLink
+	}
+	for r, m := range t.adj {
+		for dst, id := range m {
+			t.adjDense[r*n+int(dst)] = id
+		}
+	}
+	t.viaGroups = make([][]GroupID, t.cfg.Groups*t.cfg.Groups)
+	for gs := 0; gs < t.cfg.Groups; gs++ {
+		for gd := 0; gd < t.cfg.Groups; gd++ {
+			var candidates []GroupID
+			for g := 0; g < t.cfg.Groups; g++ {
+				gi := GroupID(g)
+				if g == gs || g == gd {
+					continue
+				}
+				if len(t.GlobalLinks(GroupID(gs), gi)) > 0 && len(t.GlobalLinks(gi, GroupID(gd))) > 0 {
+					candidates = append(candidates, gi)
+				}
+			}
+			t.viaGroups[gs*t.cfg.Groups+gd] = candidates
+		}
+	}
 }
 
 // MustNew is like New but panics on configuration errors. It is intended for
@@ -289,10 +332,7 @@ func (t *Topology) GroupOfNode(n NodeID) GroupID { return t.GroupOf(t.RouterOfNo
 // LinkBetween returns the link from src to dst, or InvalidLink if the two
 // routers are not directly connected.
 func (t *Topology) LinkBetween(src, dst RouterID) LinkID {
-	if id, ok := t.adj[src][dst]; ok {
-		return id
-	}
-	return InvalidLink
+	return t.adjDense[int(src)*len(t.coords)+int(dst)]
 }
 
 // Neighbors returns the routers directly connected to r.
@@ -386,13 +426,14 @@ func (t *Topology) buildGlobalLinks() {
 				r2 := routerOfPort(g2, p2)
 				// A pair of routers may already be connected by an earlier
 				// port assignment; collapse into the existing link by leaving
-				// the adjacency as is (widths already aggregate tiles).
-				if t.LinkBetween(r1, r2) == InvalidLink {
+				// the adjacency as is (widths already aggregate tiles). The
+				// dense adjacency is not built yet, so probe the map.
+				if _, ok := t.adj[r1][r2]; !ok {
 					id := t.addLink(r1, r2, LinkGlobal, cfg.GlobalLinkWidth)
 					t.globalByPair[[2]GroupID{GroupID(g1), GroupID(g2)}] =
 						append(t.globalByPair[[2]GroupID{GroupID(g1), GroupID(g2)}], id)
 				}
-				if t.LinkBetween(r2, r1) == InvalidLink {
+				if _, ok := t.adj[r2][r1]; !ok {
 					id := t.addLink(r2, r1, LinkGlobal, cfg.GlobalLinkWidth)
 					t.globalByPair[[2]GroupID{GroupID(g2), GroupID(g1)}] =
 						append(t.globalByPair[[2]GroupID{GroupID(g2), GroupID(g1)}], id)

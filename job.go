@@ -12,9 +12,13 @@ import (
 // Job is a set of nodes allocated to one application on a System. Running a
 // workload on it builds an MPI-style communicator (one rank per allocated
 // node) and drives the simulation until the workload completes.
+//
+// A Job is bound to the System epoch it was allocated in: after
+// System.Reset, running a pre-Reset job fails with an error.
 type Job struct {
 	sys   *System
 	alloc *alloc.Allocation
+	epoch uint64
 }
 
 // System returns the system the job is allocated on.
@@ -35,6 +39,9 @@ func (j *Job) String() string { return j.alloc.String() }
 
 // Counters sums the current NIC counters over the job's nodes. Subtract two
 // snapshots to isolate a phase; Run does this per iteration automatically.
+// Counters reads the fabric's current state: on a job from before a
+// System.Reset it reports the new epoch's counters over the old node set
+// (only Run enforces the epoch guard).
 func (j *Job) Counters() Counters {
 	var total Counters
 	for _, n := range j.alloc.Nodes() {
@@ -116,6 +123,9 @@ func (r Result) TimesFloat() []float64 {
 func (j *Job) Run(w Workload, opts RunOptions) (Result, error) {
 	if w == nil {
 		return Result{}, fmt.Errorf("dragonfly: nil workload")
+	}
+	if j.epoch != j.sys.epoch {
+		return Result{}, fmt.Errorf("dragonfly: job is stale: it was allocated before System.Reset")
 	}
 	rc := opts.Routing
 	if rc.Provider == nil {

@@ -311,6 +311,123 @@ func TestWithTelemetryCollects(t *testing.T) {
 	}
 }
 
+// TestResetMatchesFresh is the facade half of cross-trial reuse: a System
+// rewound with Reset(seed) must measure byte-identically to a System freshly
+// built with that seed — allocation placement, background noise, run times,
+// counters, everything.
+func TestResetMatchesFresh(t *testing.T) {
+	measure := func(sys *dragonfly.System) dragonfly.Result {
+		t.Helper()
+		job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := sys.StartNoise(dragonfly.NoiseConfig{Pattern: dragonfly.NoiseUniform, Nodes: 4}); g == nil {
+			t.Fatal("noise did not start")
+		}
+		res, err := job.Run(&workloads.PingPong{MessageBytes: 4 << 10, Iterations: 2},
+			dragonfly.RunOptions{Routing: dragonfly.StaticRouting(dragonfly.Adaptive), Iterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	build := func(seed int64) *dragonfly.System {
+		t.Helper()
+		sys, err := dragonfly.New(dragonfly.WithGeometry(dragonfly.SmallGeometry(2)), dragonfly.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	reused := build(3)
+	first := measure(reused) // dirty the system with a first trial
+
+	// Reset to a different seed: must match a fresh system with that seed.
+	if err := reused.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := measure(reused); !reflect.DeepEqual(got, measure(build(7))) {
+		t.Fatalf("Reset(7) system measured differently from a fresh seed-7 system:\n%+v", got)
+	}
+
+	// Reset back to the original seed: must reproduce the first measurement.
+	if err := reused.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := measure(reused); !reflect.DeepEqual(got, first) {
+		t.Fatalf("Reset(3) system did not reproduce its own first trial:\nfirst: %+v\nreset: %+v", first, got)
+	}
+	if reused.Seed() != 3 {
+		t.Fatalf("Seed() after Reset = %d, want 3", reused.Seed())
+	}
+}
+
+// TestResetRearmsWithNoise pins that a WithNoise spec is re-armed by Reset:
+// the background job starts again at the first allocation of the new epoch.
+func TestResetRearmsWithNoise(t *testing.T) {
+	sys := testSystem(t, dragonfly.WithNoise(dragonfly.NoiseConfig{
+		Pattern: dragonfly.NoiseUniform, Nodes: 4,
+	}))
+	if _, err := sys.Allocate(dragonfly.GroupStriped, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.NoiseGenerators()) != 1 {
+		t.Fatal("noise did not start on first allocation")
+	}
+	if err := sys.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.NoiseGenerators()) != 0 {
+		t.Fatal("Reset kept the previous epoch's noise generators")
+	}
+	if _, err := sys.Allocate(dragonfly.GroupStriped, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.NoiseGenerators()) != 1 {
+		t.Fatal("WithNoise spec was not re-armed by Reset")
+	}
+}
+
+// TestResetStaleJob: a job allocated before a Reset must refuse to run.
+func TestResetStaleJob(t *testing.T) {
+	sys := testSystem(t)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(&workloads.PingPong{MessageBytes: 1 << 10, Iterations: 1},
+		dragonfly.RunOptions{}); err == nil {
+		t.Fatal("stale job ran on a reset system")
+	}
+}
+
+// TestResetFreesNodes: allocations from before the Reset no longer occupy
+// the machine.
+func TestResetFreesNodes(t *testing.T) {
+	sys := testSystem(t)
+	machine := sys.Topology().NumNodes()
+	if _, err := sys.Allocate(dragonfly.Contiguous, machine); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FreeNodes() != 0 {
+		t.Fatalf("FreeNodes = %d after a machine-filling job", sys.FreeNodes())
+	}
+	if err := sys.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FreeNodes() != machine {
+		t.Fatalf("FreeNodes after Reset = %d, want %d", sys.FreeNodes(), machine)
+	}
+	if _, err := sys.Allocate(dragonfly.Contiguous, machine); err != nil {
+		t.Fatalf("machine-filling job after Reset: %v", err)
+	}
+}
+
 func TestParseRouting(t *testing.T) {
 	for _, name := range []string{"default", "appaware", "ADAPTIVE_0", "ADAPTIVE_3", "MIN_HASH"} {
 		rc, err := dragonfly.ParseRouting(name)
