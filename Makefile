@@ -29,11 +29,12 @@ examples:
 test:
 	$(GO) test ./...
 
-# race runs the harness, facade and cmd tests under the race detector (the
-# full experiment suite under -race is slow; CI runs it, locally target the
-# pool and the facade the pool reuses systems through).
+# race runs the harness, facade, rank-scheduler, batch-scheduler and cmd
+# tests under the race detector (the full experiment suite under -race is
+# slow; CI runs it, locally target the pool, the facade the pool reuses
+# systems through, and the concurrent multi-job path).
 race:
-	$(GO) test -race ./internal/harness/... . ./cmd/...
+	$(GO) test -race ./internal/harness/... ./internal/mpi/... ./internal/sched/... . ./cmd/...
 
 # bench runs the full 19-benchmark suite (one testing.B per paper figure/
 # table plus the serial/parallel executor pair) with -benchmem and stores the

@@ -16,8 +16,10 @@ import (
 	"strconv"
 	"testing"
 
+	"dragonfly"
 	"dragonfly/internal/experiments"
 	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
 )
 
 // benchOptions returns the option set used by the benchmark harness.
@@ -85,6 +87,65 @@ func BenchmarkSuiteSerial(b *testing.B) {
 func BenchmarkSuiteParallel(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	runSuite(b, 0)
+}
+
+// BenchmarkConcurrentJobs drives the concurrent multi-job path: an alltoall
+// victim and a halo3d neighbor co-run through System.RunConcurrent on one
+// reused (Reset) system per iteration. It reports the victim's simulated
+// time under co-tenancy as a custom metric; compare against the experiments
+// in EXPERIMENTS.md "Co-tenancy methodology".
+func BenchmarkConcurrentJobs(b *testing.B) {
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(4)),
+		dragonfly.WithSeed(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var victimTime float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Reset(1); err != nil {
+			b.Fatal(err)
+		}
+		victim, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		neighbor, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := sys.RunConcurrent([]dragonfly.JobRun{
+			{
+				Job:      victim,
+				Workload: &workloads.Alltoall{MessageBytes: 4 << 10, Iterations: 1},
+				Options:  dragonfly.RunOptions{Iterations: 4},
+			},
+			{
+				Job:      neighbor,
+				Workload: workloads.NewHalo3D(16, 256, 2),
+				Options:  dragonfly.RunOptions{Iterations: 2},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		victimTime = float64(rs[0].Time())
+	}
+	b.ReportMetric(victimTime, "victim_cycles")
+}
+
+// BenchmarkCoTenantNeighbors regenerates the co-tenancy extension: the
+// alltoall victim next to synthetic vs. real neighbor jobs per routing
+// configuration.
+func BenchmarkCoTenantNeighbors(b *testing.B) {
+	tables := runExperiment(b, "cotenant")
+	// Rows per routing: alone, noise, halo3d. Column 3 is "vs alone".
+	if len(tables[0].Rows) >= 3 {
+		cellMetric(b, tables[0], 1, 3, "default_noise_vs_alone")
+		cellMetric(b, tables[0], 2, 3, "default_halo3d_vs_alone")
+	}
 }
 
 // BenchmarkFig3AllocationPingPong regenerates Figure 3: ping-pong latency

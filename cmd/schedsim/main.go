@@ -5,10 +5,16 @@
 // related work discusses (contiguous vs. random vs. hybrid placement) and to
 // generate the multi-job backdrop of the scheduler-interference experiment.
 //
+// With -apps > 0 a share of the mix runs as *real* workload-driven
+// applications (alltoall, halo3d, allreduce ranks co-scheduled on the shared
+// fabric) instead of synthetic generators, so the interference the measured
+// mix experiences comes from actual application traffic.
+//
 // Usage:
 //
 //	schedsim -jobs 24 -placement hybrid -backfill
 //	schedsim -placement contiguous -groups 6 -max-nodes 32
+//	schedsim -jobs 16 -apps 0.5 -app-workloads alltoall,halo3d
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dragonfly"
+	"dragonfly/internal/mpi"
 	"dragonfly/internal/sched"
 	"dragonfly/internal/trace"
 )
@@ -43,6 +51,9 @@ func run(args []string, out io.Writer) error {
 		interarrive = fs.Int64("interarrival", 200_000, "mean job inter-arrival time (cycles)")
 		seed        = fs.Int64("seed", 1, "random seed")
 		showJobs    = fs.Bool("per-job", true, "print the per-job table")
+		appShare    = fs.Float64("apps", 0, "fraction of jobs that run real workload-driven applications")
+		appNames    = fs.String("app-workloads", "alltoall,halo3d,allreduce", "comma-separated workloads app jobs cycle through")
+		appIters    = fs.Int("app-iterations", 1, "workload repetitions per app job")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,33 +84,49 @@ func run(args []string, out io.Writer) error {
 	mix.CommIntensiveFraction = *commShare
 	mix.MeanInterarrivalCycles = *interarrive
 	mix.Seed = *seed
+	mix.AppFraction = *appShare
+	for _, name := range strings.Split(*appNames, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			mix.AppWorkloads = append(mix.AppWorkloads, name)
+		}
+	}
+	mix.AppIterations = *appIters
 	specs, err := sched.GenerateMix(mix, t.NumNodes())
 	if err != nil {
 		return err
 	}
 
 	s := sched.New(fab, sched.Config{Placement: policy, Backfill: *backfill, Seed: *seed})
+	if *appShare > 0 {
+		s.AttachExecutor(mpi.NewScheduler(sys.Engine()))
+	}
 	for _, spec := range specs {
 		if _, err := s.Submit(spec); err != nil {
 			return err
 		}
 	}
 	s.Start()
-	if err := sys.Engine().Run(); err != nil {
+	if err := s.Drive(nil); err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "machine: %d nodes / %d routers / %d groups; placement=%s backfill=%v\n",
-		t.NumNodes(), t.NumRouters(), t.Config().Groups, policy, *backfill)
+	fmt.Fprintf(out, "machine: %d nodes / %d routers / %d groups; placement=%s backfill=%v apps=%.0f%%\n",
+		t.NumNodes(), t.NumRouters(), t.Config().Groups, policy, *backfill, *appShare*100)
 
 	if *showJobs {
 		table := trace.NewTable("per-job schedule",
-			"job", "nodes", "comm-intensive", "wait (cycles)", "run (cycles)",
-			"routers", "groups", "messages")
+			"job", "nodes", "app", "comm-intensive", "wait (cycles)", "run (cycles)",
+			"routers", "groups", "messages/packets")
 		for _, rec := range s.SortedByStart() {
-			table.AddRow(rec.Spec.Name, rec.Spec.Nodes, rec.Spec.CommIntensive,
+			app := "-"
+			traffic := rec.MessagesSent
+			if rec.RanApp {
+				app = rec.Spec.App.Workload
+				traffic = rec.AppPackets
+			}
+			table.AddRow(rec.Spec.Name, rec.Spec.Nodes, app, rec.Spec.CommIntensive,
 				rec.WaitCycles(), rec.FinishedAt-rec.StartedAt,
-				rec.RoutersSpanned, rec.GroupsSpanned, rec.MessagesSent)
+				rec.RoutersSpanned, rec.GroupsSpanned, traffic)
 		}
 		if err := table.Render(out); err != nil {
 			return err
@@ -107,10 +134,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	st := s.Stats()
-	fmt.Fprintf(out, "\njobs: %d submitted, %d started, %d finished\n", st.Submitted, st.Started, st.Finished)
+	fmt.Fprintf(out, "\njobs: %d submitted, %d started, %d finished (%d ran real applications)\n",
+		st.Submitted, st.Started, st.Finished, st.AppJobs)
 	fmt.Fprintf(out, "waiting: mean %.0f cycles, max %d cycles\n", st.MeanWaitCycles, st.MaxWaitCycles)
 	fmt.Fprintf(out, "fragmentation: %.2f groups spanned per job on average\n", st.MeanGroupsSpanned)
 	fmt.Fprintf(out, "machine utilization: %.1f%%, makespan %d cycles\n", st.Utilization*100, st.MakespanCycles)
 	fmt.Fprintf(out, "fabric: %d packets injected by batch jobs\n", fab.PacketsInjected())
+	for _, rec := range s.Jobs() {
+		if rec.AppErr != nil {
+			fmt.Fprintf(out, "warning: %s fell back to synthetic traffic: %v\n", rec.Spec.Name, rec.AppErr)
+		}
+		if rec.TrafficErr != nil {
+			fmt.Fprintf(out, "warning: %s generated no traffic: %v\n", rec.Spec.Name, rec.TrafficErr)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCoTenancy checks the co-tenancy extension at quick scale: one row per
+// (routing, neighbor) combination, "alone" rows normalized to exactly 1, and
+// real-application neighbors reporting their own per-job time — the
+// bidirectional measurement synthetic noise could not provide.
+func TestCoTenancy(t *testing.T) {
+	opts := QuickOptions()
+	opts.Parallel = 0
+	tables, err := CoTenancy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tb := tables[0]
+	wantRows := 3 * 3 // three setups x (alone, noise, halo3d) at quick scale
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(tb.Rows), wantRows)
+	}
+	for _, row := range tb.Rows {
+		routing, neighbor := row[0], row[1]
+		norm, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("row %s/%s: bad norm %q", routing, neighbor, row[3])
+		}
+		switch neighbor {
+		case "alone":
+			if norm != 1 {
+				t.Fatalf("row %s/alone normalized to %v, want 1", routing, norm)
+			}
+			if row[7] != "-" {
+				t.Fatalf("row %s/alone reports a neighbor time %q", routing, row[7])
+			}
+		case "noise":
+			if row[7] != "-" {
+				t.Fatalf("row %s/noise reports a neighbor time %q", routing, row[7])
+			}
+		default: // a real co-scheduled application
+			if row[7] == "-" {
+				t.Fatalf("row %s/%s has no neighbor time", routing, neighbor)
+			}
+			if nb, err := strconv.ParseFloat(row[7], 64); err != nil || nb <= 0 {
+				t.Fatalf("row %s/%s neighbor time %q is not a positive number", routing, neighbor, row[7])
+			}
+		}
+		if norm <= 0 {
+			t.Fatalf("row %s/%s has non-positive normalized time %v", routing, neighbor, norm)
+		}
+		if pkts, err := strconv.ParseUint(row[5], 10, 64); err != nil || pkts == 0 {
+			t.Fatalf("row %s/%s victim packets %q invalid or zero", routing, neighbor, row[5])
+		}
+	}
+}

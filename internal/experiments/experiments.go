@@ -268,6 +268,7 @@ func Registry() map[string]Runner {
 		"noisesweep": NoiseSweep,
 		"hysteresis": HysteresisStudy,
 		"sched":      SchedulerInterference,
+		"cotenant":   CoTenancy,
 		"baselines":  BaselineComparison,
 		"collalgos":  CollectiveAlgorithms,
 		"telemetry":  TelemetryCongestion,

@@ -123,8 +123,9 @@ func JobCounters(f *network.Fabric, a *alloc.Allocation) counters.NIC {
 // MeasureSetups runs the workload under every routing setup, alternating the
 // setups on successive iterations (as the paper does, so that transient noise
 // does not penalize a single configuration), and returns one Measurement per
-// setup keyed by name. The context is checked between iterations so a
-// cancelled suite stops mid-measurement.
+// setup keyed by name. The context is checked before the first iteration,
+// between iterations, and periodically while an iteration's simulation
+// advances, so a cancelled suite stops mid-measurement.
 //
 // This is the harness-only measurement shape; single-setup runs should go
 // through the facade's Job.Run, which Measure mirrors.
@@ -150,7 +151,9 @@ func (e *Env) MeasureSetups(ctx context.Context, a *alloc.Allocation, setups []R
 		for i, s := range setups {
 			before := JobCounters(e.Fabric, a)
 			start := e.Engine.Now()
-			if err := comms[i].Run(w.Run); err != nil {
+			// RunContext (not Run) so cancellation also interrupts a
+			// long-running iteration, not just the gaps between iterations.
+			if err := comms[i].RunContext(ctx, w.Run); err != nil {
 				return nil, fmt.Errorf("iteration %d, setup %s: %w", iter, s.Name, err)
 			}
 			for r := 0; r < comms[i].Size(); r++ {

@@ -14,6 +14,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 
 	"dragonfly/internal/alloc"
@@ -100,6 +101,11 @@ type Config struct {
 }
 
 // Comm is a communicator: a set of ranks mapped onto allocated nodes.
+//
+// A communicator no longer owns the engine-driving run loop: it is a
+// co-schedulable participant on a Scheduler, so several communicators — real
+// co-tenant applications — can interleave on one shared fabric. Comm.Run
+// remains the single-communicator convenience built on a private scheduler.
 type Comm struct {
 	fabric *network.Fabric
 	alloc  *alloc.Allocation
@@ -111,8 +117,20 @@ type Comm struct {
 	// waiting[src][dst] is the FIFO of posted-but-unmatched receive requests.
 	waiting map[pairKey][]*Request
 
-	runnable []*Rank
-	notify   chan *Rank
+	// sched is the scheduler the communicator is currently attached to (set by
+	// Start); own is the lazily built private scheduler Comm.Run attaches to.
+	sched *Scheduler
+	own   *Scheduler
+	// remaining counts ranks that have not finished the current program.
+	remaining int
+	// started reports whether Start has ever been called.
+	started bool
+	// finishedAt is the simulated time the last rank of the most recent program
+	// finished, stamped by the scheduler.
+	finishedAt sim.Time
+	// onFinished, if non-nil, runs (on the scheduler goroutine) when the last
+	// rank of the current program finishes.
+	onFinished func()
 }
 
 type pairKey struct{ src, dst int }
@@ -128,7 +146,6 @@ func NewComm(fabric *network.Fabric, a *alloc.Allocation, cfg Config) (*Comm, er
 		cfg:     cfg,
 		mailbox: make(map[pairKey][]*network.Delivery),
 		waiting: make(map[pairKey][]*Request),
-		notify:  make(chan *Rank),
 	}
 	for i := 0; i < a.Size(); i++ {
 		var provider RoutingProvider
@@ -176,18 +193,39 @@ func (c *Comm) engine() *sim.Engine { return c.fabric.Engine() }
 // markRunnable re-queues a rank whose pending operation completed. It must be
 // called from the scheduler goroutine (engine event callbacks qualify).
 func (c *Comm) markRunnable(r *Rank) {
-	if r.queued || r.finished {
-		return
-	}
-	r.queued = true
-	c.runnable = append(c.runnable, r)
+	c.sched.markRunnable(r)
 }
 
-// Run executes program on every rank (as rank goroutines) and drives the
-// simulation until all ranks return. It returns an error on deadlock (no rank
-// can make progress and no simulation events remain). Run must not be called
-// concurrently with itself on the same engine.
-func (c *Comm) Run(program func(*Rank)) error {
+// OnFinished installs a hook the scheduler invokes (on the scheduler
+// goroutine) when the last rank of the current program finishes. The hook may
+// call Start again to chain another program — the facade's concurrent runner
+// uses this to string measurement iterations together — and may read the
+// fabric, whose state at that moment is exactly the state at this
+// communicator's completion time even while other communicators are still
+// running.
+func (c *Comm) OnFinished(fn func()) { c.onFinished = fn }
+
+// Finished reports whether the most recent program has completed on every
+// rank. It is false before the first Start.
+func (c *Comm) Finished() bool { return c.started && c.remaining == 0 }
+
+// FinishedAt returns the simulated time the last rank of the most recent
+// program finished (0 before the first completion).
+func (c *Comm) FinishedAt() sim.Time { return c.finishedAt }
+
+// Start launches program on every rank (as rank goroutines) and attaches the
+// communicator to the scheduler, which will interleave its ranks with those
+// of every other attached communicator. It returns an error if the previous
+// program has not finished. Start does not advance the simulation: drive it
+// with Scheduler.Run or Scheduler.Drain.
+func (c *Comm) Start(s *Scheduler, program func(*Rank)) error {
+	if c.started && c.remaining > 0 {
+		return fmt.Errorf("mpi: Start called on a communicator with %d unfinished ranks", c.remaining)
+	}
+	c.sched = s
+	c.started = true
+	c.remaining = len(c.ranks)
+	s.live += len(c.ranks)
 	for _, r := range c.ranks {
 		r.finished = false
 		r.queued = false
@@ -198,45 +236,35 @@ func (c *Comm) Run(program func(*Rank)) error {
 			<-r.resume
 			program(r)
 			r.finished = true
-			c.notify <- r
+			s.notify <- r
 		}()
-		c.markRunnable(r)
-	}
-	remaining := len(c.ranks)
-	for remaining > 0 {
-		// Let every runnable rank run until it blocks or finishes.
-		for len(c.runnable) > 0 {
-			r := c.runnable[0]
-			c.runnable = c.runnable[1:]
-			r.queued = false
-			if r.finished {
-				continue
-			}
-			r.resume <- struct{}{}
-			<-c.notify
-			if r.finished {
-				remaining--
-			}
-		}
-		if remaining == 0 {
-			break
-		}
-		// No rank is runnable: advance simulated time until one becomes so.
-		eng := c.engine()
-		for eng.Pending() > 0 && len(c.runnable) == 0 {
-			stepped, err := eng.Step()
-			if err != nil {
-				return err
-			}
-			if !stepped {
-				break
-			}
-		}
-		if len(c.runnable) == 0 {
-			return fmt.Errorf("mpi: deadlock, %d ranks blocked with no pending events", remaining)
-		}
+		s.markRunnable(r)
 	}
 	return nil
+}
+
+// Run executes program on every rank (as rank goroutines) and drives the
+// simulation until all ranks return. It returns an error on deadlock (no rank
+// can make progress and no simulation events remain). Run must not be called
+// concurrently with itself on the same engine; to co-run several
+// communicators, Start each of them on one shared Scheduler instead.
+func (c *Comm) Run(program func(*Rank)) error {
+	return c.RunContext(nil, program)
+}
+
+// RunContext is Run with cancellation: the context (when non-nil) is checked
+// periodically while the simulation advances, so a long-running program can
+// be aborted mid-iteration instead of only between iterations. A cancelled
+// run returns the context's error; the communicator's ranks are left blocked
+// and the communicator must not be reused.
+func (c *Comm) RunContext(ctx context.Context, program func(*Rank)) error {
+	if c.own == nil {
+		c.own = NewScheduler(c.engine())
+	}
+	if err := c.Start(c.own, program); err != nil {
+		return err
+	}
+	return c.own.Run(ContextCheck(ctx))
 }
 
 // deliver routes an arrived message to a waiting receive request or stores it

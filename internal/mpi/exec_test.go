@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dragonfly/internal/alloc"
+	"dragonfly/internal/core"
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+)
+
+// execFixture builds a fabric plus two disjoint four-node allocations.
+func execFixture(t *testing.T, seed int64) (*network.Fabric, *alloc.Allocation, *alloc.Allocation) {
+	t.Helper()
+	tp, err := topo.New(topo.SmallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := routing.NewPolicy(tp, routing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(seed)
+	fab, err := network.New(eng, tp, pol, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[topo.NodeID]bool)
+	a, err := alloc.Allocate(tp, alloc.GroupStriped, 4, eng.Rand(), used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range a.Nodes() {
+		used[n] = true
+	}
+	b, err := alloc.Allocate(tp, alloc.GroupStriped, 4, eng.Rand(), used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab, a, b
+}
+
+// ringProgram sends around the communicator ring and records each rank's
+// completion time.
+func ringProgram(times []sim.Time) func(*Rank) {
+	return func(r *Rank) {
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() + r.Size() - 1) % r.Size()
+		for i := 0; i < 3; i++ {
+			r.SendRecv(next, 2048, prev, core.PointToPoint)
+		}
+		times[r.Rank()] = r.Now()
+	}
+}
+
+// TestSchedulerInterleavesTwoComms: two communicators co-run on one shared
+// scheduler, both finish, and the interleaving is deterministic — the same
+// seed yields the exact same per-rank completion times on a rebuilt fabric.
+func TestSchedulerInterleavesTwoComms(t *testing.T) {
+	measure := func() ([]sim.Time, []sim.Time, sim.Time, sim.Time) {
+		fab, a, b := execFixture(t, 42)
+		s := NewScheduler(fab.Engine())
+		ca := MustNewComm(fab, a, Config{})
+		cb := MustNewComm(fab, b, Config{})
+		ta := make([]sim.Time, a.Size())
+		tb := make([]sim.Time, b.Size())
+		if err := ca.Start(s, ringProgram(ta)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Start(s, ringProgram(tb)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		if !ca.Finished() || !cb.Finished() {
+			t.Fatal("scheduler returned with unfinished communicators")
+		}
+		return ta, tb, ca.FinishedAt(), cb.FinishedAt()
+	}
+	ta1, tb1, fa1, fb1 := measure()
+	ta2, tb2, fa2, fb2 := measure()
+	if !reflect.DeepEqual(ta1, ta2) || !reflect.DeepEqual(tb1, tb2) {
+		t.Fatalf("concurrent interleaving is not deterministic:\n%v vs %v\n%v vs %v", ta1, ta2, tb1, tb2)
+	}
+	if fa1 != fa2 || fb1 != fb2 {
+		t.Fatalf("finish times differ across repeats: %d/%d vs %d/%d", fa1, fb1, fa2, fb2)
+	}
+	for r, ts := range ta1 {
+		if ts <= 0 {
+			t.Fatalf("comm A rank %d finished at time %d", r, ts)
+		}
+	}
+}
+
+// TestSchedulerSharedVsPrivate: a communicator co-run with a neighbor takes
+// longer (in simulated time) than the same communicator alone — the whole
+// point of replacing synthetic stand-ins with real co-tenants.
+func TestSchedulerSharedVsPrivate(t *testing.T) {
+	alone := func() sim.Time {
+		fab, a, _ := execFixture(t, 7)
+		ca := MustNewComm(fab, a, Config{})
+		ta := make([]sim.Time, a.Size())
+		if err := ca.Run(ringProgram(ta)); err != nil {
+			t.Fatal(err)
+		}
+		return ca.FinishedAt()
+	}()
+	shared := func() sim.Time {
+		fab, a, b := execFixture(t, 7)
+		s := NewScheduler(fab.Engine())
+		ca := MustNewComm(fab, a, Config{})
+		cb := MustNewComm(fab, b, Config{})
+		ta := make([]sim.Time, a.Size())
+		tb := make([]sim.Time, b.Size())
+		if err := ca.Start(s, ringProgram(ta)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Start(s, ringProgram(tb)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		return ca.FinishedAt()
+	}()
+	if shared < alone {
+		t.Fatalf("co-running finished earlier than running alone: %d vs %d", shared, alone)
+	}
+}
+
+// TestStartWhileRunningFails: restarting a communicator with unfinished ranks
+// is a loud error, not silent corruption.
+func TestStartWhileRunningFails(t *testing.T) {
+	fab, a, _ := execFixture(t, 1)
+	s := NewScheduler(fab.Engine())
+	c := MustNewComm(fab, a, Config{})
+	started := false
+	if err := c.Start(s, func(r *Rank) {
+		if r.Rank() == 0 && !started {
+			started = true
+			if err := c.Start(s, func(*Rank) {}); err == nil {
+				t.Error("Start on a running communicator succeeded")
+			}
+		}
+		r.Compute(10)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnFinishedChainsPrograms: the OnFinished hook can Start the next
+// program, which is how the facade chains measurement iterations.
+func TestOnFinishedChainsPrograms(t *testing.T) {
+	fab, a, _ := execFixture(t, 1)
+	s := NewScheduler(fab.Engine())
+	c := MustNewComm(fab, a, Config{})
+	rounds := 0
+	var boundaries []sim.Time
+	c.OnFinished(func() {
+		boundaries = append(boundaries, c.FinishedAt())
+		if rounds++; rounds < 3 {
+			if err := c.Start(s, func(r *Rank) { r.Compute(100) }); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := c.Start(s, func(r *Rank) { r.Compute(100) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("ran %d rounds, want 3", rounds)
+	}
+	if len(boundaries) != 3 || boundaries[0] != 100 || boundaries[1] != 200 || boundaries[2] != 300 {
+		t.Fatalf("round boundaries = %v, want [100 200 300]", boundaries)
+	}
+}
+
+// TestRunContextCancelled: cancellation interrupts a run that still has
+// simulated work to do.
+func TestRunContextCancelled(t *testing.T) {
+	fab, a, _ := execFixture(t, 1)
+	c := MustNewComm(fab, a, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunContext(ctx, func(r *Rank) { r.Compute(1000) }); err != context.Canceled {
+		t.Fatalf("cancelled RunContext returned %v, want context.Canceled", err)
+	}
+}
+
+// TestDrainRunsDynamicallyAttachedComms: Drain keeps executing events after
+// the initial comms finish, so a communicator attached by a later engine
+// event (a batch job arrival) still runs to completion.
+func TestDrainRunsDynamicallyAttachedComms(t *testing.T) {
+	fab, a, b := execFixture(t, 5)
+	s := NewScheduler(fab.Engine())
+	ca := MustNewComm(fab, a, Config{})
+	ta := make([]sim.Time, a.Size())
+	if err := ca.Start(s, ringProgram(ta)); err != nil {
+		t.Fatal(err)
+	}
+	var late *Comm
+	tb := make([]sim.Time, b.Size())
+	fab.Engine().Schedule(1_000_000, func() {
+		late = MustNewComm(fab, b, Config{})
+		if err := late.Start(s, ringProgram(tb)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if late == nil || !late.Finished() {
+		t.Fatal("dynamically attached communicator did not run")
+	}
+	if late.FinishedAt() <= 1_000_000 {
+		t.Fatalf("late communicator finished at %d, before it arrived", late.FinishedAt())
+	}
+}

@@ -64,7 +64,7 @@ func (r *Rank) fail(err error) {
 
 // block suspends the rank goroutine until the scheduler resumes it.
 func (r *Rank) block() {
-	r.comm.notify <- r
+	r.comm.sched.notify <- r
 	<-r.resume
 }
 

@@ -51,17 +51,24 @@ type Log struct {
 	// deliveries are counted but not stored.
 	MaxRecords int
 	dropped    uint64
+
+	obsID network.ObserverID
 }
 
 // NewLog returns an empty log. Attach it with Attach.
 func NewLog() *Log { return &Log{} }
 
-// Attach registers the log as the fabric's delivery observer. Only one
-// observer can be attached to a fabric at a time.
-func (l *Log) Attach(f *network.Fabric) { f.SetDeliveryObserver(l.observe) }
+// Attach registers the log as one of the fabric's delivery observers. It
+// coexists with other observers (per-job delivery capture during a concurrent
+// run, telemetry), so a fabric-wide trace can be taken while jobs record
+// their own deliveries.
+func (l *Log) Attach(f *network.Fabric) { l.obsID = f.AddDeliveryObserver(l.observe) }
 
-// Detach removes the fabric's delivery observer.
-func (l *Log) Detach(f *network.Fabric) { f.SetDeliveryObserver(nil) }
+// Detach removes the log's delivery observer from the fabric.
+func (l *Log) Detach(f *network.Fabric) {
+	f.RemoveDeliveryObserver(l.obsID)
+	l.obsID = 0
+}
 
 // observe converts a delivery into a record.
 func (l *Log) observe(d network.Delivery) {

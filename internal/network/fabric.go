@@ -204,7 +204,26 @@ type Fabric struct {
 	pendingFree []int32
 
 	packetsInjected uint64
-	onDelivery      func(Delivery)
+
+	// observers are the delivery observers in registration order. Multiple
+	// observers coexist — per-job delivery capture, the message log and
+	// telemetry can all watch one concurrent run — so the slot is a dispatch
+	// list, not a single callback.
+	observers []deliveryObserver
+	// nextObserverID is monotonically increasing and deliberately NOT rewound
+	// by Reset, so an ObserverID from a previous epoch can never alias a new
+	// observer.
+	nextObserverID ObserverID
+}
+
+// ObserverID identifies a registered delivery observer. The zero value never
+// identifies an observer.
+type ObserverID int64
+
+// deliveryObserver is one registered delivery callback.
+type deliveryObserver struct {
+	id ObserverID
+	fn func(Delivery)
 }
 
 // New builds a fabric over the given topology, routing policy and engine.
@@ -264,7 +283,10 @@ func (f *Fabric) Reset() {
 	f.pending = f.pending[:0]
 	f.pendingFree = f.pendingFree[:0]
 	f.packetsInjected = 0
-	f.onDelivery = nil
+	for i := range f.observers {
+		f.observers[i] = deliveryObserver{}
+	}
+	f.observers = f.observers[:0]
 	f.rng.Seed(f.engine.Seed() ^ 0x5f3759df)
 }
 
@@ -283,12 +305,32 @@ func (f *Fabric) Policy() *routing.Policy { return f.policy }
 // PacketsInjected reports the total number of request packets injected so far.
 func (f *Fabric) PacketsInjected() uint64 { return f.packetsInjected }
 
-// SetDeliveryObserver installs a callback invoked for every completed message
-// transfer on the fabric (including same-node loopback transfers and traffic
-// from background generators), at the delivery's simulated time. Passing nil
-// removes the observer. It is used by the message-log substrate to capture
-// fabric-wide communication traces.
-func (f *Fabric) SetDeliveryObserver(fn func(Delivery)) { f.onDelivery = fn }
+// AddDeliveryObserver registers a callback invoked for every completed
+// message transfer on the fabric (including same-node loopback transfers and
+// traffic from background generators), at the delivery's simulated time.
+// Observers fire in registration order; any number may coexist, so per-job
+// delivery capture, the message log and telemetry can all watch one
+// concurrent run. The returned id removes the observer again. Observers must
+// not be added or removed from within an observer callback.
+func (f *Fabric) AddDeliveryObserver(fn func(Delivery)) ObserverID {
+	f.nextObserverID++
+	id := f.nextObserverID
+	f.observers = append(f.observers, deliveryObserver{id: id, fn: fn})
+	return id
+}
+
+// RemoveDeliveryObserver unregisters a delivery observer and reports whether
+// it was registered. Removing an already removed (or never issued) id is a
+// safe no-op, even after a Reset recycled the fabric.
+func (f *Fabric) RemoveDeliveryObserver(id ObserverID) bool {
+	for i := range f.observers {
+		if f.observers[i].id == id {
+			f.observers = append(f.observers[:i], f.observers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
 
 // NodeCounters returns the cumulative NIC counters of a node.
 func (f *Fabric) NodeCounters(n topo.NodeID) counters.NIC {
@@ -377,8 +419,8 @@ func (f *Fabric) completeDelivery(idx int32) {
 	pd := f.pending[idx]
 	f.pending[idx] = pendingDelivery{}
 	f.pendingFree = append(f.pendingFree, idx)
-	if f.onDelivery != nil {
-		f.onDelivery(pd.d)
+	for i := range f.observers {
+		f.observers[i].fn(pd.d)
 	}
 	if pd.done != nil {
 		pd.done(pd.d)
@@ -423,7 +465,7 @@ func (f *Fabric) Send(src, dst topo.NodeID, size int64, opts SendOptions, done f
 			SendStart: now, SenderDone: now + delay, DeliveredAt: now + delay,
 			LastResponseAt: now + delay,
 		}
-		if done != nil || f.onDelivery != nil {
+		if done != nil || len(f.observers) > 0 {
 			f.scheduleDelivery(d, done)
 		}
 		return nil
@@ -580,7 +622,7 @@ func (f *Fabric) inject(src topo.NodeID) {
 		}
 		done := op.done
 		f.putOp(op)
-		if done != nil || f.onDelivery != nil {
+		if done != nil || len(f.observers) > 0 {
 			f.scheduleDelivery(d, done)
 		}
 	}

@@ -262,7 +262,7 @@ func TestFabricResetMatchesFresh(t *testing.T) {
 func TestFabricResetClearsObserver(t *testing.T) {
 	f, tt, eng := testFabric(t, 2, 1)
 	leaked := 0
-	f.SetDeliveryObserver(func(Delivery) { leaked++ })
+	f.AddDeliveryObserver(func(Delivery) { leaked++ })
 	eng.Reset(1)
 	f.Reset()
 	if err := f.Send(nodeAt(tt, 0, 0, 0, 0), nodeAt(tt, 1, 0, 0, 0), 64, SendOptions{}, nil); err != nil {

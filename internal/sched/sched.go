@@ -7,24 +7,30 @@
 // On a Dragonfly none of them can fully isolate a job, because non-minimal
 // adaptive routing sends packets through groups owned by other jobs.
 //
-// The scheduler places jobs on the simulated fabric, represents each running
-// job's traffic with a background generator, and records per-job wait times,
-// placement fragmentation and machine utilization, so experiments can compare
-// allocation policies against (and combined with) the routing-based mitigation
-// the paper proposes.
+// The scheduler places jobs on the simulated fabric and records per-job wait
+// times, placement fragmentation and machine utilization, so experiments can
+// compare allocation policies against (and combined with) the routing-based
+// mitigation the paper proposes. A running job's traffic is represented
+// either by a synthetic background generator (the historical stand-in) or —
+// when the spec carries an App and an executor is attached — by the real
+// workload-driven application itself, co-scheduled with every other job's
+// ranks on the shared fabric.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"dragonfly/internal/alloc"
+	"dragonfly/internal/mpi"
 	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topo"
+	"dragonfly/internal/workloads"
 )
 
 // AllocationPolicy selects how the scheduler places the nodes of a job.
@@ -82,7 +88,10 @@ type JobSpec struct {
 	Nodes int
 	// ArrivalCycles is the submission time relative to Scheduler.Start.
 	ArrivalCycles sim.Time
-	// DurationCycles is the job's run time once started.
+	// DurationCycles is the job's run time once started. For workload-driven
+	// jobs (App set, executor attached) it is only the walltime *estimate*
+	// backfilling reasons with: the job actually releases its nodes when the
+	// workload completes.
 	DurationCycles sim.Time
 	// CommIntensive marks the job as communication intensive; the hybrid
 	// placement policy scatters such jobs and packs the others.
@@ -91,6 +100,29 @@ type JobSpec struct {
 	// runs. MessageBytes == 0 disables traffic generation (a "compute only"
 	// job that still occupies nodes).
 	Traffic TrafficSpec
+	// App, if non-nil, runs a real workload-driven application on the job's
+	// nodes instead of representing the job with a synthetic traffic
+	// generator. It requires an executor (AttachExecutor); without one — or
+	// when the workload cannot be built — the scheduler falls back to the
+	// Traffic generator and records why in the JobRecord.
+	App *AppSpec
+}
+
+// AppSpec describes the real application a workload-driven batch job runs.
+type AppSpec struct {
+	// Workload is the registered workload name (see workloads.New), e.g.
+	// "alltoall", "halo3d", "allreduce".
+	Workload string
+	// MessageBytes is the workload's size parameter as workloads.New
+	// interprets it: per-message bytes for the collectives, the domain edge
+	// for the stencil workloads (halo3d, sweep3d).
+	MessageBytes int64
+	// Iterations is how many times each rank repeats the workload body
+	// (minimum 1).
+	Iterations int
+	// Routing builds the per-rank routing provider; nil applies
+	// Traffic.Mode statically to every message.
+	Routing func(rank int) mpi.RoutingProvider
 }
 
 // TrafficSpec shapes the traffic a running job injects into the fabric.
@@ -168,10 +200,28 @@ type JobRecord struct {
 	// RoutersSpanned and GroupsSpanned record the placement fragmentation.
 	RoutersSpanned int
 	GroupsSpanned  int
-	// MessagesSent is the traffic the job injected while running.
+	// MessagesSent is the traffic the job injected while running (generator
+	// jobs only; workload-driven jobs report AppPackets instead).
 	MessagesSent uint64
 
-	generator *noise.Generator
+	// RanApp reports whether the job ran as a real workload-driven
+	// application on the executor (rather than a traffic generator).
+	RanApp bool
+	// AppCycles is the simulated time the application took, and AppPackets
+	// the request packets its nodes injected (both meaningful when RanApp).
+	AppCycles  sim.Time
+	AppPackets uint64
+	// AppErr records why a requested App could not run (the job fell back to
+	// the traffic generator), or a rank error the application hit.
+	AppErr error
+	// TrafficErr records a traffic-generator construction failure. The job
+	// still runs (it occupies nodes for its duration) but injects nothing —
+	// without this field that degradation was silent.
+	TrafficErr error
+
+	generator  *noise.Generator
+	comm       *mpi.Comm
+	appPackets uint64 // injected-packet snapshot at application start
 }
 
 // WaitCycles returns how long the job waited in the queue (0 while queued).
@@ -219,6 +269,10 @@ type Scheduler struct {
 	// by a measured foreground job).
 	reserved map[topo.NodeID]bool
 
+	// exec, when attached, runs workload-driven jobs (JobSpec.App) as real
+	// co-scheduled applications instead of synthetic generators.
+	exec *mpi.Scheduler
+
 	busyNodeCycles uint64
 	lastAccounting sim.Time
 }
@@ -233,6 +287,39 @@ func New(f *network.Fabric, cfg Config) *Scheduler {
 		running:  make(map[int]*JobRecord),
 		busy:     make(map[topo.NodeID]bool),
 		reserved: make(map[topo.NodeID]bool),
+	}
+}
+
+// AttachExecutor hands the scheduler a cooperative rank executor. With one
+// attached, jobs whose spec carries an App run their real application on the
+// fabric — actual workload-driven traffic, completion when the workload
+// completes — instead of being approximated by a traffic generator. Drive the
+// run with Drive (or the executor's Drain) rather than Engine.Run, so the
+// application ranks interleave with the scheduler's events.
+func (s *Scheduler) AttachExecutor(x *mpi.Scheduler) { s.exec = x }
+
+// Drive runs the simulation to completion: through the attached executor when
+// one is present (so workload-driven jobs co-run with the event queue), with
+// a plain engine run otherwise. The context, when non-nil, cancels the run.
+func (s *Scheduler) Drive(ctx context.Context) error {
+	if s.exec != nil {
+		return s.exec.Drain(mpi.ContextCheck(ctx))
+	}
+	eng := s.fabric.Engine()
+	if ctx == nil {
+		return eng.Run()
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stepped, err := eng.Step()
+		if err != nil {
+			return err
+		}
+		if !stepped {
+			return nil
+		}
 	}
 }
 
@@ -434,6 +521,19 @@ func (s *Scheduler) startJob(rec *JobRecord) {
 	}
 	s.running[rec.ID] = rec
 
+	if rec.Spec.App != nil {
+		if s.exec == nil {
+			rec.AppErr = fmt.Errorf("sched: job %q requests workload %q but no executor is attached",
+				rec.Spec.Name, rec.Spec.App.Workload)
+		} else if err := s.startApp(rec); err != nil {
+			rec.AppErr = err
+		} else {
+			// The application itself decides when the job finishes; no
+			// duration event, no generator.
+			return
+		}
+		// Fall through: represent the job with the traffic generator below.
+	}
 	if rec.Spec.Traffic.MessageBytes > 0 && rec.Spec.Nodes >= 2 {
 		cfg := noise.GeneratorConfig{
 			Pattern:             rec.Spec.Traffic.Pattern,
@@ -445,12 +545,68 @@ func (s *Scheduler) startJob(rec *JobRecord) {
 			BurstIdleCycles:     200_000,
 			Seed:                s.cfg.Seed*1_000_003 + int64(rec.ID),
 		}
-		if g, err := noise.FromAllocation(s.fabric, a, cfg); err == nil {
+		if g, err := noise.FromAllocation(s.fabric, a, cfg); err != nil {
+			// The job still holds its nodes for its duration; record that it
+			// injects nothing instead of dropping the error on the floor.
+			rec.TrafficErr = err
+		} else {
 			rec.generator = g
 			g.Start(eng.Now() + rec.Spec.DurationCycles)
 		}
 	}
 	eng.After(rec.Spec.DurationCycles, func() { s.finishJob(rec) })
+}
+
+// jobPackets sums the request packets injected by the job's nodes so far.
+func (s *Scheduler) jobPackets(a *alloc.Allocation) uint64 {
+	var total uint64
+	for _, n := range a.Nodes() {
+		total += s.fabric.NodeCounters(n).RequestPackets
+	}
+	return total
+}
+
+// startApp builds the communicator and launches the job's real application on
+// the executor. The job finishes — and releases its nodes — when the last
+// rank completes, at the workload's own pace.
+func (s *Scheduler) startApp(rec *JobRecord) error {
+	app := rec.Spec.App
+	w, err := workloads.New(app.Workload, rec.Allocation.Size(), app.MessageBytes)
+	if err != nil {
+		return err
+	}
+	provider := app.Routing
+	if provider == nil {
+		mode := rec.Spec.Traffic.Mode
+		provider = func(int) mpi.RoutingProvider { return mpi.StaticRouting{Mode: mode} }
+	}
+	comm, err := mpi.NewComm(s.fabric, rec.Allocation, mpi.Config{Routing: provider})
+	if err != nil {
+		return err
+	}
+	iters := app.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	rec.comm = comm
+	rec.RanApp = true
+	rec.appPackets = s.jobPackets(rec.Allocation)
+	comm.OnFinished(func() {
+		for r := 0; r < comm.Size(); r++ {
+			if err := comm.Rank(r).Err(); err != nil {
+				rec.AppErr = fmt.Errorf("sched: job %q rank %d: %w", rec.Spec.Name, r, err)
+				break
+			}
+		}
+		rec.AppCycles = s.fabric.Engine().Now() - rec.StartedAt
+		rec.AppPackets = s.jobPackets(rec.Allocation) - rec.appPackets
+		s.finishJob(rec)
+	})
+	return comm.Start(s.exec, func(r *mpi.Rank) {
+		for i := 0; i < iters; i++ {
+			w.Run(r)
+		}
+	})
 }
 
 // finishJob releases the job's nodes and re-runs the scheduling pass.
@@ -487,6 +643,12 @@ type Stats struct {
 	Utilization float64
 	// MakespanCycles is the time between Start and the last job completion.
 	MakespanCycles sim.Time
+	// AppJobs counts jobs that ran as real workload-driven applications.
+	AppJobs int
+	// AppErrors and TrafficErrors count jobs whose application or traffic
+	// generator could not run as specified (see JobRecord.AppErr/TrafficErr).
+	AppErrors     int
+	TrafficErrors int
 }
 
 // Stats computes the summary over all submitted jobs. It should be called
@@ -499,6 +661,15 @@ func (s *Scheduler) Stats() Stats {
 	var groupSum float64
 	var lastEnd sim.Time
 	for _, rec := range s.jobs {
+		if rec.RanApp {
+			st.AppJobs++
+		}
+		if rec.AppErr != nil {
+			st.AppErrors++
+		}
+		if rec.TrafficErr != nil {
+			st.TrafficErrors++
+		}
 		if rec.State == Queued {
 			continue
 		}

@@ -40,6 +40,21 @@ func (f Func) Name() string { return f.WorkloadName }
 // Run implements Workload.
 func (f Func) Run(r *mpi.Rank) { f.Body(r) }
 
+// SizeFor maps a registered workload name to the size argument New expects:
+// per-message bytes for the collectives, but a laptop-scale domain edge for
+// the stencil workloads — their size parameter is an edge length, and feeding
+// a byte count there would explode into terabyte-scale faces. Callers that
+// size heterogeneous workloads from one byte-count knob (the batch mix, the
+// co-tenancy experiment) go through this one mapping.
+func SizeFor(name string, messageBytes int64) int64 {
+	switch name {
+	case "halo3d", "sweep3d":
+		return 256
+	default:
+		return messageBytes
+	}
+}
+
 // Factor3D factors n into three dimensions px >= py >= pz with px*py*pz == n,
 // as balanced as possible. It is used to build process grids for stencil
 // workloads.

@@ -2,10 +2,8 @@ package dragonfly
 
 import (
 	"context"
-	"fmt"
 
 	"dragonfly/internal/alloc"
-	"dragonfly/internal/mpi"
 	"dragonfly/internal/sim"
 )
 
@@ -64,13 +62,16 @@ type RunOptions struct {
 	HostNoise func(rank int) int64
 	// Verb is the RDMA verb used for payload transfers.
 	Verb Verb
-	// Context, if non-nil, is checked between iterations so a cancelled
-	// suite aborts mid-run.
+	// Context, if non-nil, is checked before the first iteration, between
+	// iterations, and periodically while the simulation advances, so a
+	// cancelled suite aborts even mid-iteration.
 	Context context.Context
-	// RecordDeliveries captures every message delivery of the run into
-	// Result.Deliveries. It claims the fabric's delivery observer for the
-	// duration of the run, so it cannot be combined with an external message
-	// log attached to the same fabric.
+	// RecordDeliveries captures message deliveries of the run into
+	// Result.Deliveries: every delivery on the fabric for a single-job run
+	// (Job.Run), only the deliveries touching the job's nodes inside a
+	// multi-job RunConcurrent. The capture uses one of the fabric's delivery
+	// observer slots and coexists with a message log or telemetry attached to
+	// the same fabric.
 	RecordDeliveries bool
 }
 
@@ -120,65 +121,14 @@ func (r Result) TimesFloat() []float64 {
 // returns the measurement. Each rank runs the workload body as a goroutine in
 // ordinary blocking style; a cooperative scheduler interleaves them with the
 // event engine, so the run is deterministic.
+//
+// Run is the single-job special case of System.RunConcurrent: to measure this
+// job while other real applications load the fabric, put them all in one
+// RunConcurrent call instead.
 func (j *Job) Run(w Workload, opts RunOptions) (Result, error) {
-	if w == nil {
-		return Result{}, fmt.Errorf("dragonfly: nil workload")
-	}
-	if j.epoch != j.sys.epoch {
-		return Result{}, fmt.Errorf("dragonfly: job is stale: it was allocated before System.Reset")
-	}
-	rc := opts.Routing
-	if rc.Provider == nil {
-		rc = DefaultRouting()
-	}
-	iters := opts.Iterations
-	if iters < 1 {
-		iters = 1
-	}
-	comm, err := mpi.NewComm(j.sys.fabric, j.alloc, mpi.Config{
-		Routing:   rc.Provider,
-		Verb:      opts.Verb,
-		HostNoise: opts.HostNoise,
-	})
-	if err != nil {
+	rs, err := j.sys.RunConcurrent([]JobRun{{Job: j, Workload: w, Options: opts}})
+	if len(rs) != 1 {
 		return Result{}, err
 	}
-	res := Result{Setup: rc.Name}
-	if opts.RecordDeliveries {
-		j.sys.fabric.SetDeliveryObserver(func(d Delivery) {
-			res.Deliveries = append(res.Deliveries, d)
-		})
-		defer j.sys.fabric.SetDeliveryObserver(nil)
-	}
-	routers := j.alloc.Routers()
-	flits0, stalled0 := j.sys.fabric.IncomingFlits(routers)
-	for iter := 0; iter < iters; iter++ {
-		if opts.Context != nil {
-			if err := opts.Context.Err(); err != nil {
-				return res, fmt.Errorf("dragonfly: cancelled at iteration %d: %w", iter, err)
-			}
-		}
-		before := j.Counters()
-		start := j.sys.engine.Now()
-		if err := comm.Run(w.Run); err != nil {
-			return res, err
-		}
-		for r := 0; r < comm.Size(); r++ {
-			if err := comm.Rank(r).Err(); err != nil {
-				return res, fmt.Errorf("dragonfly: rank %d: %w", r, err)
-			}
-		}
-		res.Times = append(res.Times, j.sys.engine.Now()-start)
-		res.Deltas = append(res.Deltas, j.Counters().Sub(before))
-	}
-	flits1, stalled1 := j.sys.fabric.IncomingFlits(routers)
-	res.TileFlits, res.TileStalled = flits1-flits0, stalled1-stalled0
-	for _, d := range res.Deltas {
-		res.Counters.Add(d)
-	}
-	if rc.Stats != nil {
-		res.SelectorStats = rc.Stats()
-		res.HasSelectorStats = true
-	}
-	return res, nil
+	return rs[0], err
 }

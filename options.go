@@ -80,7 +80,10 @@ func WithSeed(seed int64) Option {
 
 // WithNoise declares a background interfering job. It is started when the
 // first job is allocated, on nodes disjoint from that job, exactly like an
-// explicit System.StartNoise call at that point.
+// explicit System.StartNoise call at that point. The generator is a
+// fixed-rate synthetic stand-in; to measure against *real* co-running
+// applications, allocate neighbor jobs and run everything through
+// System.RunConcurrent instead.
 func WithNoise(cfg NoiseConfig) Option {
 	return func(c *config) error {
 		if cfg.Nodes < 2 {
