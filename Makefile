@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check examples test race bench bench-suite quick
+.PHONY: all build vet fmt-check examples test race bench bench-suite bench-smoke fuzz quick
 
 all: build vet fmt-check examples test
 
@@ -58,6 +58,22 @@ bench:
 # bench-suite is the quick serial-vs-parallel executor comparison.
 bench-suite:
 	$(GO) test -bench Suite -benchtime 1x -run '^$$' .
+
+# bench-smoke runs BenchmarkSuiteSerial once and fails when allocs/op
+# regresses more than 10% over the checked-in budget (BENCH_budget.txt).
+# CI runs it; after an intentional allocation change, update the budget file
+# with the new allocs/op value and justify it in the PR.
+bench-smoke:
+	./scripts/bench_smoke.sh
+
+# fuzz smoke-runs each native Go fuzz target for a short window (seed corpora
+# are checked in under testdata/fuzz). CI runs it; raise FUZZTIME locally for
+# a longer hunt, e.g. `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRouting$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseGeometry$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/alloc
 
 # quick is the fastest end-to-end smoke: build plus one tiny experiment.
 quick: build

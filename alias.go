@@ -14,6 +14,7 @@ import (
 	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
+	"dragonfly/internal/stats"
 	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/workloads"
@@ -62,6 +63,12 @@ type (
 	TrafficKind = core.TrafficKind
 	// NodeID identifies a node of the topology.
 	NodeID = topo.NodeID
+	// Digest is the fixed-size streaming statistics digest backing
+	// Result.TimeStats (exact at small sample counts, P² beyond).
+	Digest = stats.Digest
+	// Summary is the box-plot style description of a sample distribution
+	// (median, quartiles, QCD) produced by Result.TimeSummary.
+	Summary = stats.Summary
 )
 
 // Routing modes, re-exported so applications need not import the routing

@@ -301,3 +301,33 @@ func BenchmarkAblationBiasSweep(b *testing.B) {
 	cellMetric(b, tables[0], 0, 2, "pingpong_bias0_median_cycles")
 	cellMetric(b, tables[0], len(tables[0].Rows)-1, 5, "alltoall_maxbias_minimal_pct")
 }
+
+// BenchmarkMachineScaleDaint builds a Daint-class system (14 full Aries
+// groups, 5376 nodes, 1344 routers) and runs a short streaming-stats
+// workload on it each iteration. B/op is the headline: it is dominated by
+// topology construction and fabric arenas, i.e. the machine-scale memory
+// cost the compact CSR adjacency and lazy NIC rings exist to bound.
+func BenchmarkMachineScaleDaint(b *testing.B) {
+	var meanCycles float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := dragonfly.New(
+			dragonfly.WithGeometry(dragonfly.Daint),
+			dragonfly.WithSeed(1),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job, err := sys.Allocate(dragonfly.GroupStriped, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := job.Run(&workloads.Alltoall{MessageBytes: 2 << 10, Iterations: 1},
+			dragonfly.RunOptions{Iterations: 2, StreamStats: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanCycles = res.TimeStats.Mean()
+	}
+	b.ReportMetric(meanCycles, "daint_alltoall_mean_cycles")
+}

@@ -36,6 +36,7 @@ func run(args []string) error {
 		nodes        = fs.Int("nodes", 16, "number of ranks (one per node)")
 		groups       = fs.Int("groups", 4, "number of Dragonfly groups")
 		fullAries    = fs.Bool("full-aries", false, "use full-size Aries groups")
+		geometryName = fs.String("geometry", "", "geometry ladder rung or preset (small, medium, large, daint, small:N, medium:N, aries:N); overrides -groups/-full-aries")
 		routingMode  = fs.String("routing", "default", "routing: default, ADAPTIVE_0..3, MIN_HASH, NMIN_HASH, IN_ORDER, or appaware")
 		allocPolicy  = fs.String("alloc", "group-striped", "allocation policy: contiguous, random, group-striped")
 		iterations   = fs.Int("iterations", 3, "workload repetitions")
@@ -67,6 +68,12 @@ func run(args []string) error {
 	geometry := dragonfly.MediumGeometry(*groups)
 	if *fullAries {
 		geometry = dragonfly.AriesGeometry(*groups)
+	}
+	if *geometryName != "" {
+		geometry, err = dragonfly.ParseGeometry(*geometryName)
+		if err != nil {
+			return err
+		}
 	}
 	sys, err := dragonfly.New(
 		dragonfly.WithGeometry(geometry),

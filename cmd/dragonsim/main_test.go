@@ -48,3 +48,12 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunGeometryPreset(t *testing.T) {
+	if err := run([]string{"-geometry", "small:2", "-workload", "pingpong", "-nodes", "2", "-iterations", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-geometry", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown geometry preset")
+	}
+}

@@ -30,18 +30,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("topoinfo", flag.ContinueOnError)
 	var (
-		groups    = fs.Int("groups", 6, "number of Dragonfly groups")
-		fullAries = fs.Bool("full-aries", true, "use full-size Aries groups (6 chassis x 16 blades x 4 nodes)")
-		samples   = fs.Int("samples", 2000, "random router pairs sampled for the hop histogram")
-		seed      = fs.Int64("seed", 1, "random seed")
+		groups       = fs.Int("groups", 6, "number of Dragonfly groups")
+		fullAries    = fs.Bool("full-aries", true, "use full-size Aries groups (6 chassis x 16 blades x 4 nodes)")
+		geometryName = fs.String("geometry", "", "geometry ladder rung or preset (small, medium, large, daint, small:N, medium:N, aries:N); overrides -groups/-full-aries")
+		ladder       = fs.Bool("ladder", false, "print the geometry ladder (sizes and adjacency memory per rung) and exit")
+		samples      = fs.Int("samples", 2000, "random router pairs sampled for the hop histogram")
+		seed         = fs.Int64("seed", 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ladder {
+		return printLadder()
 	}
 
 	cfg := dragonfly.SmallGeometry(*groups)
 	if *fullAries {
 		cfg = dragonfly.AriesGeometry(*groups)
+	}
+	if *geometryName != "" {
+		var err error
+		cfg, err = dragonfly.ParseGeometry(*geometryName)
+		if err != nil {
+			return err
+		}
 	}
 	t, err := topo.New(cfg)
 	if err != nil {
@@ -56,6 +68,7 @@ func run(args []string) error {
 	overview.AddRow("routers", t.NumRouters())
 	overview.AddRow("nodes", t.NumNodes())
 	overview.AddRow("directed links", t.NumLinks())
+	overview.AddRow("adjacency (CSR) KiB", fmt.Sprintf("%.1f", float64(t.AdjacencyBytes())/1024))
 	if err := overview.Render(os.Stdout); err != nil {
 		return err
 	}
@@ -98,4 +111,21 @@ func run(args []string) error {
 		classes.AddRow(int(a), int(b), t.Classify(a, b).String())
 	}
 	return classes.Render(os.Stdout)
+}
+
+// printLadder builds every rung of the geometry ladder and tabulates its
+// size and adjacency memory — the quick answer to "what does each rung cost
+// before I run on it".
+func printLadder() error {
+	table := trace.NewTable("Geometry ladder",
+		"rung", "groups", "routers", "nodes", "directed links", "adjacency (CSR) KiB")
+	for _, rung := range dragonfly.GeometryLadder() {
+		t, err := topo.New(rung.Geometry)
+		if err != nil {
+			return err
+		}
+		table.AddRow(rung.Name, rung.Geometry.Groups, t.NumRouters(), t.NumNodes(),
+			t.NumLinks(), fmt.Sprintf("%.1f", float64(t.AdjacencyBytes())/1024))
+	}
+	return table.Render(os.Stdout)
 }

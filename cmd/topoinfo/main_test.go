@@ -25,3 +25,18 @@ func TestRunInvalidGeometry(t *testing.T) {
 		t.Fatal("expected error for zero groups")
 	}
 }
+
+func TestRunGeometryPreset(t *testing.T) {
+	if err := run([]string{"-geometry", "medium", "-samples", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-geometry", "no-such-rung"}); err == nil {
+		t.Fatal("expected error for unknown geometry preset")
+	}
+}
+
+func TestRunLadder(t *testing.T) {
+	if err := run([]string{"-ladder"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"dragonfly/internal/mpi"
 	"dragonfly/internal/network"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
 	"dragonfly/internal/topo"
 )
 
@@ -70,8 +71,18 @@ func (st *jobRunState) finishIteration() bool {
 			return false
 		}
 	}
-	st.res.Times = append(st.res.Times, st.sys.engine.Now()-st.start)
-	st.res.Deltas = append(st.res.Deltas, st.run.Job.Counters().Sub(st.before))
+	elapsed := st.sys.engine.Now() - st.start
+	delta := st.run.Job.Counters().Sub(st.before)
+	st.res.TimeStats.Add(float64(elapsed))
+	st.res.totalTime += elapsed
+	if st.run.Options.StreamStats {
+		// O(1) memory: the digest plus the aggregate counter total stand in
+		// for the per-iteration slices.
+		st.res.Counters.Add(delta)
+	} else {
+		st.res.Times = append(st.res.Times, elapsed)
+		st.res.Deltas = append(st.res.Deltas, delta)
+	}
 	st.iter++
 	if st.iter >= st.iters {
 		st.complete()
@@ -92,6 +103,8 @@ func (st *jobRunState) finishIteration() bool {
 func (st *jobRunState) complete() {
 	flits1, stalled1 := st.sys.fabric.IncomingFlits(st.routers)
 	st.res.TileFlits, st.res.TileStalled = flits1-st.flits0, stalled1-st.stalled0
+	// StreamStats runs fold deltas into Counters at every iteration; the
+	// slice-backed path sums them here.
 	for _, d := range st.res.Deltas {
 		st.res.Counters.Add(d)
 	}
@@ -167,7 +180,7 @@ func (s *System) RunConcurrent(runs []JobRun) ([]Result, error) {
 			iters = 1
 		}
 		states[i] = &jobRunState{sys: s, run: r, routing: rc, iters: iters,
-			res: Result{Setup: rc.Name}}
+			res: Result{Setup: rc.Name, TimeStats: stats.NewDigest()}}
 	}
 	results := func() []Result {
 		out := make([]Result, len(states))
@@ -244,6 +257,9 @@ func (s *System) RunConcurrent(runs []JobRun) ([]Result, error) {
 		st.startIteration(sched)
 	}
 	if err := sched.Run(checkAll); err != nil {
+		// Release the rank goroutines the abandoned run left parked; without
+		// this every cancelled RunConcurrent leaks one goroutine per rank.
+		sched.Shutdown()
 		if err2 := checkAll(); err2 != nil && err == err2 {
 			err = fmt.Errorf("dragonfly: cancelled mid-run: %w", err)
 		}

@@ -1,0 +1,29 @@
+package alloc
+
+import "testing"
+
+// FuzzParsePolicy fuzzes the allocation-policy parser: no panics, and every
+// accepted input must round-trip through Policy.String back to the same
+// policy.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"contiguous", "random", "random-scatter", "group-striped", "striped",
+		"", "Contiguous", "RANDOM", "group_striped", "scatter", "x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		name := p.String()
+		if name == "" {
+			t.Fatalf("ParsePolicy(%q) accepted a policy with no name", s)
+		}
+		back, err := ParsePolicy(name)
+		if err != nil || back != p {
+			t.Fatalf("policy %v does not round-trip through %q: %v %v", p, name, back, err)
+		}
+	})
+}

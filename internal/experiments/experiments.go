@@ -255,24 +255,25 @@ type Runner func(Options) ([]*trace.Table, error)
 // Registry maps experiment ids (as used by cmd/experiments -exp) to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"fig3":       Figure3Allocations,
-		"tab1":       Table1IdleFlits,
-		"fig4":       Figure4OnNodeAlltoall,
-		"fig5":       Figure5QCD,
-		"fig7":       Figure7RoutingPingPong,
-		"model":      ModelValidation,
-		"fig8":       Figure8Microbenchmarks,
-		"fig9":       Figure9MicrobenchmarksCori,
-		"fig10":      Figure10Applications,
-		"ablations":  Ablations,
-		"noisesweep": NoiseSweep,
-		"hysteresis": HysteresisStudy,
-		"sched":      SchedulerInterference,
-		"cotenant":   CoTenancy,
-		"baselines":  BaselineComparison,
-		"collalgos":  CollectiveAlgorithms,
-		"telemetry":  TelemetryCongestion,
-		"biassweep":  BiasSweep,
+		"fig3":        Figure3Allocations,
+		"tab1":        Table1IdleFlits,
+		"fig4":        Figure4OnNodeAlltoall,
+		"fig5":        Figure5QCD,
+		"fig7":        Figure7RoutingPingPong,
+		"model":       ModelValidation,
+		"fig8":        Figure8Microbenchmarks,
+		"fig9":        Figure9MicrobenchmarksCori,
+		"fig10":       Figure10Applications,
+		"ablations":   Ablations,
+		"noisesweep":  NoiseSweep,
+		"hysteresis":  HysteresisStudy,
+		"sched":       SchedulerInterference,
+		"cotenant":    CoTenancy,
+		"baselines":   BaselineComparison,
+		"collalgos":   CollectiveAlgorithms,
+		"telemetry":   TelemetryCongestion,
+		"biassweep":   BiasSweep,
+		"fullmachine": FullMachine,
 	}
 }
 

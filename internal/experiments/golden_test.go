@@ -19,6 +19,10 @@ import (
 var goldenHashes = map[string]string{
 	"fig3":       "bb1847397d1c7e32321c93690fd84668aec9e32697c89443d92a52bc1b53dee5",
 	"noisesweep": "0e43040912c901179124acad65d6ce6dd8ceda90499f65416fe613be836111bd",
+	// cotenant pins the concurrent multi-job path (System.RunConcurrent with
+	// real neighbor applications) end to end through the compact-arena
+	// fabric; captured at PR 5 after verifying fig3/noisesweep unchanged.
+	"cotenant": "8af32d8100a5ce369d0933123945100842adaa97748aca26ab323436c3028795",
 }
 
 func TestGoldenTables(t *testing.T) {

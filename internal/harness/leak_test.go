@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"dragonfly/internal/testutil"
+)
+
+// leakSpec is the shared measurement spec with an explicit iteration count:
+// a real allocate → measure trial whose rank goroutines the leak tests track.
+func leakSpec(id string, iterations int) TrialSpec {
+	spec := measureSpec(id)
+	spec.Iterations = iterations
+	return spec
+}
+
+// TestExecutorNoGoroutineLeak pins the executor's goroutine accounting: after
+// a parallel suite completes, the worker goroutines and every rank goroutine
+// of every trial are gone.
+func TestExecutorNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var specs []TrialSpec
+	for _, id := range []string{"a", "b", "c", "d"} {
+		specs = append(specs, leakSpec("leak/"+id, 2))
+	}
+	if _, err := (&Executor{Parallel: 4, Seed: 9}).Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitGoroutines(t, base)
+}
+
+// TestExecutorCancelNoGoroutineLeak is the ctx-cancellation half: a suite
+// cancelled while trials are mid-simulation must release the in-flight rank
+// goroutines (Comm.RunContext shuts its scheduler down), not leave them
+// parked for the life of the process.
+func TestExecutorCancelNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var specs []TrialSpec
+	for _, id := range []string{"a", "b", "c", "d", "e", "f"} {
+		spec := leakSpec("leak-cancel/"+id, 200)
+		// Cancel from inside the first trial body, so later trials are
+		// skipped and in-flight measurements abort mid-iteration.
+		inner := spec
+		spec.Body = func(c context.Context, e *Env) (any, error) {
+			cancel()
+			job, err := e.AllocateJob(inner.Placement, inner.JobNodes)
+			if err != nil {
+				return nil, err
+			}
+			return e.MeasureSetups(c, job, inner.Setups(), nil,
+				inner.Workload(job.Size()), inner.Iterations)
+		}
+		specs = append(specs, spec)
+	}
+	_, err := (&Executor{Parallel: 3, Seed: 9}).Run(ctx, specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled suite returned %v, want context.Canceled", err)
+	}
+	testutil.WaitGoroutines(t, base)
+}

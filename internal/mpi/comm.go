@@ -222,6 +222,9 @@ func (c *Comm) Start(s *Scheduler, program func(*Rank)) error {
 	if c.started && c.remaining > 0 {
 		return fmt.Errorf("mpi: Start called on a communicator with %d unfinished ranks", c.remaining)
 	}
+	if c.sched != s {
+		s.comms = append(s.comms, c)
+	}
 	c.sched = s
 	c.started = true
 	c.remaining = len(c.ranks)
@@ -229,14 +232,27 @@ func (c *Comm) Start(s *Scheduler, program func(*Rank)) error {
 	for _, r := range c.ranks {
 		r.finished = false
 		r.queued = false
+		r.aborted = false
 	}
 	for _, r := range c.ranks {
 		r := r
 		go func() {
 			<-r.resume
+			defer func() {
+				// Scheduler.Shutdown unwinds parked ranks with the abort
+				// sentinel; swallow exactly that and re-raise everything else.
+				if e := recover(); e != nil && e != errRankAborted {
+					panic(e)
+				}
+				r.finished = true
+				s.notify <- r
+			}()
+			if r.aborted {
+				// Shutdown reached the rank before it ever ran: skip the
+				// program entirely.
+				return
+			}
 			program(r)
-			r.finished = true
-			s.notify <- r
 		}()
 		s.markRunnable(r)
 	}
@@ -255,8 +271,9 @@ func (c *Comm) Run(program func(*Rank)) error {
 // RunContext is Run with cancellation: the context (when non-nil) is checked
 // periodically while the simulation advances, so a long-running program can
 // be aborted mid-iteration instead of only between iterations. A cancelled
-// run returns the context's error; the communicator's ranks are left blocked
-// and the communicator must not be reused.
+// run returns the context's error; the communicator's parked rank goroutines
+// are released (Scheduler.Shutdown), but the communicator's state is torn
+// mid-operation and it must not be reused.
 func (c *Comm) RunContext(ctx context.Context, program func(*Rank)) error {
 	if c.own == nil {
 		c.own = NewScheduler(c.engine())
@@ -264,7 +281,11 @@ func (c *Comm) RunContext(ctx context.Context, program func(*Rank)) error {
 	if err := c.Start(c.own, program); err != nil {
 		return err
 	}
-	return c.own.Run(ContextCheck(ctx))
+	if err := c.own.Run(ContextCheck(ctx)); err != nil {
+		c.own.Shutdown()
+		return err
+	}
+	return nil
 }
 
 // deliver routes an arrived message to a waiting receive request or stores it

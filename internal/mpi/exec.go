@@ -29,7 +29,14 @@ type Scheduler struct {
 	notify   chan *Rank
 	// live is the number of unfinished ranks across all attached comms.
 	live int
+	// comms lists every communicator ever attached (Start), so Shutdown can
+	// find and release ranks still parked after an abandoned run.
+	comms []*Comm
 }
+
+// errRankAborted is the unwind sentinel Shutdown injects into parked rank
+// goroutines; the Start wrapper recovers it (and only it).
+var errRankAborted = fmt.Errorf("mpi: rank aborted by scheduler shutdown")
 
 // NewScheduler builds a scheduler over the given engine.
 func NewScheduler(engine *sim.Engine) *Scheduler {
@@ -110,6 +117,7 @@ func (s *Scheduler) stepUntil(check func() error) error {
 // completion — background noise, telemetry ticks — are left queued, exactly as
 // the historical Comm.Run left them.
 func (s *Scheduler) Run(check func() error) error {
+	defer s.shutdownOnPanic()
 	for s.live > 0 {
 		if check != nil {
 			if err := check(); err != nil {
@@ -138,6 +146,7 @@ func (s *Scheduler) Run(check func() error) error {
 // relies on this to co-run workload-driven jobs that start at simulated
 // arrival times. It is the rank-aware equivalent of Engine.Run.
 func (s *Scheduler) Drain(check func() error) error {
+	defer s.shutdownOnPanic()
 	for {
 		if check != nil {
 			if err := check(); err != nil {
@@ -155,6 +164,51 @@ func (s *Scheduler) Drain(check func() error) error {
 			return err
 		}
 	}
+}
+
+// shutdownOnPanic releases parked ranks when a panic escapes the drive loop
+// (an engine event callback or an OnFinished hook blowing up), then lets the
+// panic continue. Callers that recover such panics — the trial harness
+// captures them per trial — would otherwise strand every unfinished rank
+// goroutine, exactly the leak Shutdown exists to prevent. At every point a
+// panic can escape Run or Drain, the unfinished ranks are parked (a rank only
+// executes while the drive loop is blocked handing it the turn), so Shutdown
+// is safe here.
+func (s *Scheduler) shutdownOnPanic() {
+	if r := recover(); r != nil {
+		s.Shutdown()
+		panic(r)
+	}
+}
+
+// Shutdown releases the rank goroutines an abandoned run left parked: every
+// unfinished rank of every attached communicator is resumed one last time
+// with its abort flag set, unwinds out of its program, and exits. Call it
+// after Run or Drain returned an error (cancellation, deadlock) when the
+// simulation will not be driven further — without it those goroutines (and
+// everything their programs reference) live for the rest of the process.
+//
+// Shutdown is idempotent and safe on a scheduler whose runs all completed
+// (it finds nothing to release). The attached communicators must not be
+// reused afterwards: their in-flight collectives and mailboxes are torn
+// mid-operation.
+func (s *Scheduler) Shutdown() {
+	for _, c := range s.comms {
+		for _, r := range c.ranks {
+			if r.finished {
+				continue
+			}
+			// Every unfinished rank is parked on <-r.resume (either in
+			// block() or at the wrapper's initial handshake): exactly one
+			// resume reaches it, and the wrapper's notify confirms the exit.
+			r.aborted = true
+			r.resume <- struct{}{}
+			<-s.notify
+			s.live--
+			c.remaining--
+		}
+	}
+	s.runnable = s.runnable[:0]
 }
 
 // ContextCheck adapts a context to the scheduler's cancellation hook shape.

@@ -3,6 +3,7 @@ package mpi
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"dragonfly/internal/alloc"
@@ -10,6 +11,7 @@ import (
 	"dragonfly/internal/network"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/testutil"
 	"dragonfly/internal/topo"
 )
 
@@ -226,4 +228,58 @@ func TestDrainRunsDynamicallyAttachedComms(t *testing.T) {
 	if late.FinishedAt() <= 1_000_000 {
 		t.Fatalf("late communicator finished at %d, before it arrived", late.FinishedAt())
 	}
+}
+
+// TestSchedulerShutdownReleasesParkedRanks pins Scheduler.Shutdown directly:
+// a run abandoned by cancellation leaves every unfinished rank parked, and
+// Shutdown releases them all (idempotently).
+func TestSchedulerShutdownReleasesParkedRanks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	fab, a, _ := execFixture(t, 31)
+	comm := MustNewComm(fab, a, Config{})
+	sched := NewScheduler(fab.Engine())
+	// Every rank blocks on a receive that never arrives; with no pending
+	// events Run reports a deadlock and the ranks stay parked.
+	if err := comm.Start(sched, func(r *Rank) { r.Recv(r.Rank()) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(nil); err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+	if sched.Live() != comm.Size() {
+		t.Fatalf("expected %d parked ranks, got %d", comm.Size(), sched.Live())
+	}
+	sched.Shutdown()
+	if sched.Live() != 0 {
+		t.Fatalf("Shutdown left %d live ranks", sched.Live())
+	}
+	sched.Shutdown() // idempotent
+	testutil.WaitGoroutines(t, base)
+}
+
+// TestSchedulerPanicReleasesParkedRanks is the panic half of the leak fix:
+// when a panic escapes the drive loop (here from the check hook, standing in
+// for an engine event callback blowing up) and a caller recovers it — as the
+// trial harness does per trial — the unfinished rank goroutines must still
+// be released, not parked for the life of the process.
+func TestSchedulerPanicReleasesParkedRanks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	fab, a, _ := execFixture(t, 32)
+	comm := MustNewComm(fab, a, Config{})
+	sched := NewScheduler(fab.Engine())
+	if err := comm.Start(sched, func(r *Rank) { r.Recv(r.Rank()) }); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the drive-loop panic to propagate")
+			}
+		}()
+		_ = sched.Run(func() error { panic("event callback blew up") })
+	}()
+	if sched.Live() != 0 {
+		t.Fatalf("panic unwind left %d live ranks", sched.Live())
+	}
+	testutil.WaitGoroutines(t, base)
 }

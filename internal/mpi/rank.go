@@ -22,6 +22,10 @@ type Rank struct {
 	resume   chan struct{}
 	queued   bool
 	finished bool
+	// aborted is set by Scheduler.Shutdown before the parked goroutine is
+	// resumed for the last time; block() turns it into the unwind panic that
+	// terminates the rank's program.
+	aborted bool
 
 	// computeDone flags the completion of the (single) outstanding Compute
 	// event; see Compute and HandleEvent.
@@ -62,10 +66,16 @@ func (r *Rank) fail(err error) {
 	}
 }
 
-// block suspends the rank goroutine until the scheduler resumes it.
+// block suspends the rank goroutine until the scheduler resumes it. A resume
+// issued by Scheduler.Shutdown unwinds the rank's program instead of
+// continuing it: the program goroutine would otherwise stay parked forever
+// when a run is abandoned (cancellation, deadlock).
 func (r *Rank) block() {
 	r.comm.sched.notify <- r
 	<-r.resume
+	if r.aborted {
+		panic(errRankAborted)
+	}
 }
 
 // Request is a handle for a non-blocking operation.

@@ -113,6 +113,10 @@ type nicState struct {
 	readyAt sim.Time
 	// window is a ring buffer of the response times of the last
 	// MaxOutstandingPackets packets, used to enforce the outstanding limit.
+	// It is allocated lazily on the NIC's first injection: at machine scale
+	// most nodes never send (only the measured jobs and noise generators do),
+	// so an idle NIC costs a few words instead of an eager
+	// MaxOutstandingPackets-sized ring.
 	window    []sim.Time
 	windowIdx int
 	windowLen int
@@ -246,9 +250,6 @@ func New(engine *sim.Engine, t *topo.Topology, policy *routing.Policy, cfg Confi
 		ls.cyclesPerFlitDen = max(int64(l.Width), 1)
 		ls.propagation = cfg.propagationFor(l.Type)
 		ls.bufferCycles = ls.serialization(cfg.BufferFlits)
-	}
-	for i := range f.nics {
-		f.nics[i].window = make([]sim.Time, cfg.MaxOutstandingPackets)
 	}
 	return f, nil
 }
@@ -486,17 +487,19 @@ func (f *Fabric) Send(src, dst topo.NodeID, size int64, opts SendOptions, done f
 }
 
 // windowConstraint returns the earliest time the NIC may inject the next
-// packet given the outstanding-packet window, and records resp as the response
-// time of the packet about to be injected.
-func (n *nicState) windowConstraint() sim.Time {
-	if n.windowLen < len(n.window) {
+// packet given the outstanding-packet window of maxOutstanding packets.
+func (n *nicState) windowConstraint(maxOutstanding int) sim.Time {
+	if n.windowLen < maxOutstanding {
 		return 0
 	}
 	// The oldest outstanding packet's response bounds the next injection.
 	return n.window[n.windowIdx]
 }
 
-func (n *nicState) recordResponse(resp sim.Time) {
+func (n *nicState) recordResponse(resp sim.Time, maxOutstanding int) {
+	if n.window == nil {
+		n.window = make([]sim.Time, maxOutstanding)
+	}
 	n.window[n.windowIdx] = resp
 	n.windowIdx = (n.windowIdx + 1) % len(n.window)
 	if n.windowLen < len(n.window) {
@@ -522,7 +525,7 @@ func (f *Fabric) inject(src topo.NodeID) {
 
 	// Window constraint: the oldest outstanding packet must have been
 	// acknowledged before a new one can enter the request window.
-	ready := max(nic.readyAt, nic.windowConstraint())
+	ready := max(nic.readyAt, nic.windowConstraint(f.cfg.MaxOutstandingPackets))
 
 	srcRouter := f.topo.RouterOfNode(op.src)
 	dstRouter := f.topo.RouterOfNode(op.dst)
@@ -570,8 +573,7 @@ func (f *Fabric) inject(src topo.NodeID) {
 	respFlits := f.cfg.ResponseFlits * int(chunkPackets)
 	respArrival := arrival
 	for i := len(dec.Path) - 1; i >= 0; i-- {
-		l := f.topo.Link(dec.Path[i])
-		revID := f.topo.LinkBetween(l.Dst, l.Src)
+		revID := f.topo.ReverseLink(dec.Path[i])
 		if revID == topo.InvalidLink {
 			continue
 		}
@@ -589,7 +591,7 @@ func (f *Fabric) inject(src topo.NodeID) {
 	stall := injStart - ready
 	serNIC := int64(chunkFlits) * f.cfg.CyclesPerFlit // NIC pushes one flit per CyclesPerFlit
 	nic.readyAt = injStart + serNIC
-	nic.recordResponse(respArrival)
+	nic.recordResponse(respArrival, f.cfg.MaxOutstandingPackets)
 	f.packetsInjected += uint64(chunkPackets)
 
 	latency := respArrival - injStart

@@ -100,33 +100,40 @@ func TestStaleViewThroughFabric(t *testing.T) {
 // --- nicState: outstanding-packet ring buffer ------------------------------
 
 // TestWindowRingWraparound pins the ring-buffer mechanics of the NIC's
-// outstanding-packet window: no constraint until the window fills, then the
+// outstanding-packet window: the ring is allocated lazily on the first
+// recorded response, no constraint applies until the window fills, then the
 // oldest outstanding response bounds the next injection, with windowIdx
 // wrapping modulo the window size.
 func TestWindowRingWraparound(t *testing.T) {
-	n := nicState{window: make([]sim.Time, 4)}
-	if got := n.windowConstraint(); got != 0 {
+	var n nicState // window nil: idle NICs never allocate a ring
+	if got := n.windowConstraint(4); got != 0 {
 		t.Fatalf("empty window constraint = %d, want 0", got)
 	}
+	if n.window != nil {
+		t.Fatal("windowConstraint on an idle NIC must not allocate the ring")
+	}
 	for i, resp := range []sim.Time{10, 20, 30} {
-		n.recordResponse(resp)
-		if got := n.windowConstraint(); got != 0 {
+		n.recordResponse(resp, 4)
+		if got := n.windowConstraint(4); got != 0 {
 			t.Fatalf("after %d records (window not full) constraint = %d, want 0", i+1, got)
 		}
 	}
-	n.recordResponse(40)
+	if len(n.window) != 4 {
+		t.Fatalf("ring allocated with %d slots, want 4", len(n.window))
+	}
+	n.recordResponse(40, 4)
 	// Window full: oldest outstanding response (10) gates injection, and the
 	// ring index has wrapped back to slot 0.
 	if n.windowIdx != 0 || n.windowLen != 4 {
 		t.Fatalf("windowIdx=%d windowLen=%d, want 0 and 4", n.windowIdx, n.windowLen)
 	}
-	if got := n.windowConstraint(); got != 10 {
+	if got := n.windowConstraint(4); got != 10 {
 		t.Fatalf("full window constraint = %d, want oldest response 10", got)
 	}
 	// Each further record evicts the oldest and advances the ring.
 	for _, c := range []struct{ resp, want sim.Time }{{50, 20}, {60, 30}, {70, 40}, {80, 50}, {90, 60}} {
-		n.recordResponse(c.resp)
-		if got := n.windowConstraint(); got != c.want {
+		n.recordResponse(c.resp, 4)
+		if got := n.windowConstraint(4); got != c.want {
 			t.Fatalf("after recording %d: constraint = %d, want %d", c.resp, got, c.want)
 		}
 	}

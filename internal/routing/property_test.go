@@ -1,0 +1,187 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"dragonfly/internal/topo"
+)
+
+// randomGeometry draws a small but varied Dragonfly shape: group counts,
+// chassis/blade layouts and port counts all vary, including degenerate
+// single-dimension shapes (one chassis, one blade row).
+func randomGeometry(rng *rand.Rand) topo.Config {
+	for {
+		cfg := topo.Config{
+			Groups:                1 + rng.Intn(6),
+			ChassisPerGroup:       1 + rng.Intn(4),
+			BladesPerChassis:      1 + rng.Intn(6),
+			NodesPerBlade:         1 + rng.Intn(3),
+			GlobalLinksPerRouter:  1 + rng.Intn(4),
+			IntraGroupLinkWidth:   1 + rng.Intn(3),
+			IntraChassisLinkWidth: 1 + rng.Intn(2),
+			GlobalLinkWidth:       1 + rng.Intn(3),
+		}
+		if cfg.Validate() == nil {
+			return cfg
+		}
+	}
+}
+
+// allModes are the routing modes Route accepts.
+var allModes = []Mode{
+	Adaptive, IncreasinglyMinimalBias, AdaptiveLowBias, AdaptiveHighBias,
+	MinHash, NonMinHash, InOrder,
+}
+
+// TestPropertyRoutesAreRealPaths is the core property: on randomized
+// geometries, every Decision.Path returned by every routing mode is a
+// connected chain of real topology links from the source router to the
+// destination router.
+func TestPropertyRoutesAreRealPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for g := 0; g < 25; g++ {
+		cfg := randomGeometry(rng)
+		tp := topo.MustNew(cfg)
+		pol := MustNewPolicy(tp, DefaultParams())
+		view := ZeroView{Propagation: 100, CyclesPerFlit: 4}
+		for trial := 0; trial < 40; trial++ {
+			src := topo.RouterID(rng.Intn(tp.NumRouters()))
+			dst := topo.RouterID(rng.Intn(tp.NumRouters()))
+			for _, mode := range allModes {
+				dec := pol.Route(mode, src, dst, 5, rng.Uint64(), view, 0, rng)
+				if err := tp.ValidatePath(src, dst, dec.Path); err != nil {
+					t.Fatalf("geometry %+v: mode %s route %d->%d: %v (path %v)",
+						cfg, mode, src, dst, err, dec.Path)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMinimalHopBound checks the dragonfly minimal-path bound on
+// randomized geometries: a minimal path is at most local–global–local per
+// group traversal — ≤ 2 hops inside a group, ≤ 2+1+2 across groups (and
+// never more than MaxMinimalHops even on the Valiant fallback for group
+// pairs without a direct link).
+func TestPropertyMinimalHopBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for g := 0; g < 25; g++ {
+		cfg := randomGeometry(rng)
+		tp := topo.MustNew(cfg)
+		for trial := 0; trial < 60; trial++ {
+			src := topo.RouterID(rng.Intn(tp.NumRouters()))
+			dst := topo.RouterID(rng.Intn(tp.NumRouters()))
+			path := tp.MinimalPath(src, dst, rng)
+			sameGroup := tp.GroupOf(src) == tp.GroupOf(dst)
+			direct := len(tp.GlobalLinks(tp.GroupOf(src), tp.GroupOf(dst))) > 0
+			bound := topo.MaxMinimalHops
+			switch {
+			case src == dst:
+				bound = 0
+			case sameGroup:
+				bound = 2 // intra-chassis + row, or a direct link
+			case !direct:
+				// No direct group pair: minimal falls back to a Valiant
+				// detour, which may cost up to the non-minimal bound.
+				bound = topo.MaxNonMinimalHops
+			}
+			if len(path) > bound {
+				t.Fatalf("geometry %+v: minimal path %d->%d has %d hops, bound %d (path %v)",
+					cfg, src, dst, len(path), bound, path)
+			}
+			globals := 0
+			for _, id := range path {
+				if tp.Link(id).Type == topo.LinkGlobal {
+					globals++
+				}
+			}
+			if sameGroup && globals != 0 {
+				t.Fatalf("geometry %+v: intra-group minimal path %d->%d crossed %d global links",
+					cfg, src, dst, globals)
+			}
+			if !sameGroup && direct && globals != 1 {
+				t.Fatalf("geometry %+v: inter-group minimal path %d->%d crossed %d global links, want 1",
+					cfg, src, dst, globals)
+			}
+		}
+	}
+}
+
+// TestPropertyValiantIntermediateGroups checks the Valiant invariant on
+// randomized geometries: a non-minimal inter-group path detours through an
+// intermediate group that is neither the source nor the destination group
+// (whenever such a group exists), observable as the first global hop landing
+// in a third group.
+func TestPropertyValiantIntermediateGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for g := 0; g < 40; g++ {
+		cfg := randomGeometry(rng)
+		if cfg.Groups < 3 {
+			continue // a detour group needs at least three groups
+		}
+		tp := topo.MustNew(cfg)
+		for trial := 0; trial < 60; trial++ {
+			src := topo.RouterID(rng.Intn(tp.NumRouters()))
+			dst := topo.RouterID(rng.Intn(tp.NumRouters()))
+			gs, gd := tp.GroupOf(src), tp.GroupOf(dst)
+			if gs == gd {
+				continue
+			}
+			path := tp.NonMinimalPath(src, dst, rng)
+			if err := tp.ValidatePath(src, dst, path); err != nil {
+				t.Fatalf("geometry %+v: %v", cfg, err)
+			}
+			// Reconstruct the groups the path's global hops land in.
+			var via []topo.GroupID
+			for _, id := range path {
+				if l := tp.Link(id); l.Type == topo.LinkGlobal {
+					via = append(via, tp.GroupOf(l.Dst))
+				}
+			}
+			if len(via) < 2 {
+				// Degenerate wiring can leave no usable intermediate group;
+				// then the path legitimately collapses to a minimal one.
+				continue
+			}
+			if inter := via[0]; inter == gs || inter == gd {
+				t.Fatalf("geometry %+v: Valiant detour %d->%d entered group %d, which is an endpoint group (%d, %d); path %v",
+					cfg, src, dst, inter, gs, gd, path)
+			}
+		}
+	}
+}
+
+// TestPropertyAdaptiveCandidatesRespectBounds samples the UGAL candidate sets
+// directly: minimal candidates stay within the minimal hop bound and
+// non-minimal candidates within the Valiant bound, on randomized geometries.
+func TestPropertyAdaptiveCandidatesRespectBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for g := 0; g < 25; g++ {
+		cfg := randomGeometry(rng)
+		tp := topo.MustNew(cfg)
+		for trial := 0; trial < 40; trial++ {
+			src := topo.RouterID(rng.Intn(tp.NumRouters()))
+			dst := topo.RouterID(rng.Intn(tp.NumRouters()))
+			direct := tp.GroupOf(src) == tp.GroupOf(dst) ||
+				len(tp.GlobalLinks(tp.GroupOf(src), tp.GroupOf(dst))) > 0
+			minimal, nonMinimal := tp.SamplePaths(src, dst, 2, 2, rng)
+			for _, p := range minimal {
+				if err := tp.ValidatePath(src, dst, p); err != nil {
+					t.Fatalf("geometry %+v: minimal candidate: %v", cfg, err)
+				}
+				if direct && len(p) > topo.MaxMinimalHops {
+					t.Fatalf("geometry %+v: minimal candidate %d->%d has %d hops", cfg, src, dst, len(p))
+				}
+			}
+			for _, p := range nonMinimal {
+				if err := tp.ValidatePath(src, dst, p); err != nil {
+					t.Fatalf("geometry %+v: non-minimal candidate: %v", cfg, err)
+				}
+				if len(p) > topo.MaxNonMinimalHops {
+					t.Fatalf("geometry %+v: non-minimal candidate %d->%d has %d hops", cfg, src, dst, len(p))
+				}
+			}
+		}
+	}
+}

@@ -303,7 +303,13 @@ func (s *Scheduler) AttachExecutor(x *mpi.Scheduler) { s.exec = x }
 // a plain engine run otherwise. The context, when non-nil, cancels the run.
 func (s *Scheduler) Drive(ctx context.Context) error {
 	if s.exec != nil {
-		return s.exec.Drain(mpi.ContextCheck(ctx))
+		if err := s.exec.Drain(mpi.ContextCheck(ctx)); err != nil {
+			// Release application ranks an aborted drain left parked, so a
+			// cancelled batch run does not leak one goroutine per rank.
+			s.exec.Shutdown()
+			return err
+		}
+		return nil
 	}
 	eng := s.fabric.Engine()
 	if ctx == nil {

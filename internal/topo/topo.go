@@ -189,13 +189,35 @@ type Topology struct {
 	coords []Coord // router -> coordinate
 	links  []Link
 
-	// adjacency: adj[src][dst] -> LinkID (at most one collapsed link per pair)
-	adj []map[RouterID]LinkID
-	// adjDense is the flattened adjacency matrix (src*NumRouters+dst ->
-	// LinkID, InvalidLink when unconnected). Path construction runs once per
-	// simulated packet, so the per-hop link lookup must be an indexed load,
-	// not a map probe.
+	// Adjacency in CSR (compressed sparse row) form: router r's outgoing
+	// links occupy adjDst/adjLink[adjOff[r]:adjOff[r+1]], sorted by
+	// destination router. Router degree on a Dragonfly is small and bounded
+	// (blades-1 + chassis-1 + global ports), so the per-hop LinkBetween
+	// lookup is a short binary search over one cache line or two, while the
+	// memory cost is O(links) — a dense |R|×|R| matrix at machine scale
+	// (thousands of routers) would dwarf the link state itself.
+	adjOff  []int32
+	adjDst  []RouterID
+	adjLink []LinkID
+
+	// adjDense is an optional accelerator over the CSR rows: the flattened
+	// |R|×|R| matrix (src*NumRouters+dst -> LinkID). Path construction runs
+	// several LinkBetween lookups per simulated packet, and on the small
+	// experiment geometries the whole matrix fits in a few KiB of cache, so
+	// the indexed load is measurably faster than the row search. It is built
+	// only while it costs at most denseAdjMaxBytes; machine-scale topologies
+	// leave it nil and answer from the CSR rows alone.
 	adjDense []LinkID
+
+	// revLink maps each link to the link in the opposite direction (or
+	// InvalidLink). The fabric walks the reverse path once per packet chunk;
+	// precomputing it removes every adjacency lookup from that loop.
+	revLink []LinkID
+
+	// buildAdj is construction-only: it detects already-connected router
+	// pairs while links are being wired (global port assignments may collapse
+	// onto one pair). It is released once the CSR arrays are built.
+	buildAdj map[adjKey]LinkID
 
 	// globalByPair[(g1,g2)] lists links from a router of g1 to a router of g2.
 	globalByPair map[[2]GroupID][]LinkID
@@ -215,31 +237,76 @@ func New(cfg Config) (*Topology, error) {
 	t := &Topology{
 		cfg:          cfg,
 		coords:       make([]Coord, cfg.Routers()),
-		adj:          make([]map[RouterID]LinkID, cfg.Routers()),
+		buildAdj:     make(map[adjKey]LinkID),
 		globalByPair: make(map[[2]GroupID][]LinkID),
 	}
 	for r := 0; r < cfg.Routers(); r++ {
 		t.coords[r] = t.coordOf(RouterID(r))
-		t.adj[r] = make(map[RouterID]LinkID)
 	}
 	t.buildLocalLinks()
 	t.buildGlobalLinks()
 	t.buildPathCaches()
+	t.buildAdj = nil // construction scaffolding; the CSR arrays own adjacency now
 	return t, nil
 }
 
-// buildPathCaches derives the per-packet lookup structures (dense adjacency,
+// adjKey identifies a directed router pair during construction.
+type adjKey struct{ src, dst RouterID }
+
+// denseAdjMaxBytes bounds the optional dense adjacency mirror: up to this
+// size (512 routers) the matrix is cheap cache-resident speed for the
+// per-packet path construction; past it — the Large and Daint ladder rungs —
+// adjacency stays CSR-only and memory scales with links, not routers².
+const denseAdjMaxBytes = 1 << 20
+
+// buildPathCaches derives the per-packet lookup structures (CSR adjacency,
 // Valiant intermediate-group candidates) from the link graph.
 func (t *Topology) buildPathCaches() {
 	n := t.cfg.Routers()
-	t.adjDense = make([]LinkID, n*n)
-	for i := range t.adjDense {
-		t.adjDense[i] = InvalidLink
+	// CSR: count degrees, prefix-sum into row offsets, fill, then sort each
+	// row by destination so LinkBetween can binary-search it.
+	t.adjOff = make([]int32, n+1)
+	for _, l := range t.links {
+		t.adjOff[int(l.Src)+1]++
 	}
-	for r, m := range t.adj {
-		for dst, id := range m {
-			t.adjDense[r*n+int(dst)] = id
+	for r := 0; r < n; r++ {
+		t.adjOff[r+1] += t.adjOff[r]
+	}
+	t.adjDst = make([]RouterID, len(t.links))
+	t.adjLink = make([]LinkID, len(t.links))
+	fill := make([]int32, n)
+	for _, l := range t.links {
+		at := t.adjOff[l.Src] + fill[l.Src]
+		fill[l.Src]++
+		t.adjDst[at] = l.Dst
+		t.adjLink[at] = l.ID
+	}
+	for r := 0; r < n; r++ {
+		lo, hi := t.adjOff[r], t.adjOff[r+1]
+		// Insertion sort: rows are short (bounded by the router degree) and
+		// nearly sorted already, since local links are wired in dst order.
+		for i := lo + 1; i < hi; i++ {
+			d, id := t.adjDst[i], t.adjLink[i]
+			j := i
+			for j > lo && t.adjDst[j-1] > d {
+				t.adjDst[j], t.adjLink[j] = t.adjDst[j-1], t.adjLink[j-1]
+				j--
+			}
+			t.adjDst[j], t.adjLink[j] = d, id
 		}
+	}
+	if n*n*4 <= denseAdjMaxBytes {
+		t.adjDense = make([]LinkID, n*n)
+		for i := range t.adjDense {
+			t.adjDense[i] = InvalidLink
+		}
+		for _, l := range t.links {
+			t.adjDense[int(l.Src)*n+int(l.Dst)] = l.ID
+		}
+	}
+	t.revLink = make([]LinkID, len(t.links))
+	for i, l := range t.links {
+		t.revLink[i] = t.LinkBetween(l.Dst, l.Src)
 	}
 	t.viaGroups = make([][]GroupID, t.cfg.Groups*t.cfg.Groups)
 	for gs := 0; gs < t.cfg.Groups; gs++ {
@@ -330,18 +397,54 @@ func (t *Topology) NodesOfRouter(r RouterID) []NodeID {
 func (t *Topology) GroupOfNode(n NodeID) GroupID { return t.GroupOf(t.RouterOfNode(n)) }
 
 // LinkBetween returns the link from src to dst, or InvalidLink if the two
-// routers are not directly connected.
+// routers are not directly connected. Small machines answer from the dense
+// mirror (one indexed load); machine-scale topologies binary-search the
+// router's CSR adjacency row — rows are degree-bounded, so that is a handful
+// of compares.
 func (t *Topology) LinkBetween(src, dst RouterID) LinkID {
-	return t.adjDense[int(src)*len(t.coords)+int(dst)]
+	if t.adjDense != nil {
+		return t.adjDense[int(src)*len(t.coords)+int(dst)]
+	}
+	lo, hi := t.adjOff[src], t.adjOff[src+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if t.adjDst[mid] < dst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < t.adjOff[src+1] && t.adjDst[lo] == dst {
+		return t.adjLink[lo]
+	}
+	return InvalidLink
 }
 
-// Neighbors returns the routers directly connected to r.
+// Degree returns the number of outgoing links of router r.
+func (t *Topology) Degree(r RouterID) int {
+	return int(t.adjOff[r+1] - t.adjOff[r])
+}
+
+// ReverseLink returns the link running opposite to id (Dst -> Src), or
+// InvalidLink when the reverse direction is not wired. It is a precomputed
+// table: the fabric's response-path walk does one indexed load per hop
+// instead of an adjacency lookup.
+func (t *Topology) ReverseLink(id LinkID) LinkID { return t.revLink[id] }
+
+// Neighbors returns the routers directly connected to r, in ascending router
+// order (the CSR row order).
 func (t *Topology) Neighbors(r RouterID) []RouterID {
-	out := make([]RouterID, 0, len(t.adj[r]))
-	for dst := range t.adj[r] {
-		out = append(out, dst)
-	}
-	return out
+	return append([]RouterID(nil), t.adjDst[t.adjOff[r]:t.adjOff[r+1]]...)
+}
+
+// AdjacencyBytes reports the memory held by the adjacency structures: the
+// CSR arrays, the reverse-link table, and — on small machines only — the
+// dense mirror. It is the observable the machine-scale tooling (cmd/topoinfo,
+// EXPERIMENTS.md's memory-budget table) tracks: past the dense cutoff it is
+// O(links), where a mandatory dense matrix would be O(routers²).
+func (t *Topology) AdjacencyBytes() int {
+	return len(t.adjOff)*4 + len(t.adjDst)*4 + len(t.adjLink)*4 +
+		len(t.revLink)*4 + len(t.adjDense)*4
 }
 
 // GlobalLinks returns the links connecting group g1 directly to group g2.
@@ -349,11 +452,11 @@ func (t *Topology) GlobalLinks(g1, g2 GroupID) []LinkID {
 	return t.globalByPair[[2]GroupID{g1, g2}]
 }
 
-// addLink inserts a directed link and its adjacency entry.
+// addLink inserts a directed link and its construction-time adjacency entry.
 func (t *Topology) addLink(src, dst RouterID, typ LinkType, width int) LinkID {
 	id := LinkID(len(t.links))
 	t.links = append(t.links, Link{ID: id, Src: src, Dst: dst, Type: typ, Width: width})
-	t.adj[src][dst] = id
+	t.buildAdj[adjKey{src, dst}] = id
 	return id
 }
 
@@ -427,13 +530,13 @@ func (t *Topology) buildGlobalLinks() {
 				// A pair of routers may already be connected by an earlier
 				// port assignment; collapse into the existing link by leaving
 				// the adjacency as is (widths already aggregate tiles). The
-				// dense adjacency is not built yet, so probe the map.
-				if _, ok := t.adj[r1][r2]; !ok {
+				// CSR adjacency is not built yet, so probe the build map.
+				if _, ok := t.buildAdj[adjKey{r1, r2}]; !ok {
 					id := t.addLink(r1, r2, LinkGlobal, cfg.GlobalLinkWidth)
 					t.globalByPair[[2]GroupID{GroupID(g1), GroupID(g2)}] =
 						append(t.globalByPair[[2]GroupID{GroupID(g1), GroupID(g2)}], id)
 				}
-				if _, ok := t.adj[r2][r1]; !ok {
+				if _, ok := t.buildAdj[adjKey{r2, r1}]; !ok {
 					id := t.addLink(r2, r1, LinkGlobal, cfg.GlobalLinkWidth)
 					t.globalByPair[[2]GroupID{GroupID(g2), GroupID(g1)}] =
 						append(t.globalByPair[[2]GroupID{GroupID(g2), GroupID(g1)}], id)

@@ -5,6 +5,7 @@ import (
 
 	"dragonfly/internal/alloc"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
 )
 
 // Job is a set of nodes allocated to one application on a System. Running a
@@ -73,16 +74,36 @@ type RunOptions struct {
 	// observer slots and coexists with a message log or telemetry attached to
 	// the same fabric.
 	RecordDeliveries bool
+	// StreamStats drops the unbounded per-iteration slices (Result.Times,
+	// Result.Deltas) and keeps only the fixed-size streaming digest
+	// (Result.TimeStats) plus the aggregate counters, so a machine-scale run
+	// with millions of iterations measures in O(1) memory. The digest is
+	// exact below stats.DefaultExactSamples iterations, so small runs lose
+	// nothing but the raw slices.
+	StreamStats bool
 }
 
 // Result is what one Job.Run measured.
 type Result struct {
 	// Setup is the name of the routing configuration that ran.
 	Setup string
-	// Times holds one execution time (cycles) per iteration.
+	// Times holds one execution time (cycles) per iteration. Empty when the
+	// run used RunOptions.StreamStats; use TimeStats then.
 	Times []sim.Time
 	// Deltas holds the per-iteration NIC counter deltas summed over the job.
+	// Empty when the run used RunOptions.StreamStats (Counters still carries
+	// the total).
 	Deltas []Counters
+	// TimeStats is the fixed-size streaming digest of the per-iteration
+	// times. It is populated on every run — exact below the digest's sample
+	// limit, P²-approximate beyond it — and is the only per-iteration timing
+	// record of a StreamStats run.
+	TimeStats *stats.Digest
+
+	// totalTime is the exact integer sum of the iteration times, maintained
+	// by the runner so Time() stays precise for StreamStats runs whose
+	// float64 digest sum would round past 2^53 cycles.
+	totalTime sim.Time
 	// Counters is the total NIC counter delta over all iterations.
 	Counters Counters
 	// TileFlits and TileStalled are the router-tile deltas (incoming flits
@@ -98,13 +119,28 @@ type Result struct {
 	Deliveries []Delivery
 }
 
-// Time returns the total execution time over all iterations.
+// Time returns the total execution time over all iterations, exact for both
+// slice-backed and StreamStats runs.
 func (r Result) Time() sim.Time {
+	if len(r.Times) == 0 {
+		return r.totalTime
+	}
 	var total sim.Time
 	for _, t := range r.Times {
 		total += t
 	}
 	return total
+}
+
+// TimeSummary condenses the per-iteration times into the box-plot summary the
+// experiment tables render. It reads the streaming digest, so it works
+// identically for slice-backed and StreamStats runs (and is bit-identical to
+// stats.Summarize over Times while the digest is in its exact regime).
+func (r Result) TimeSummary() stats.Summary {
+	if r.TimeStats != nil {
+		return r.TimeStats.Summary()
+	}
+	return stats.Summarize(r.TimesFloat())
 }
 
 // TimesFloat returns the per-iteration times as float64s, the shape the stats

@@ -2,11 +2,103 @@ package dragonfly
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"dragonfly/internal/network"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topo"
 )
+
+// The geometry ladder: four standard machine shapes spanning unit-test scale
+// to a full Piz-Daint-class system, each roughly an order of magnitude bigger
+// than the previous rung. Pass a rung straight to WithGeometry:
+//
+//	sys, err := dragonfly.New(dragonfly.WithGeometry(dragonfly.Daint))
+//
+// The values are package variables only so they can be spelled without
+// parentheses; treat them as read-only.
+var (
+	// Small is the unit-test rung: 4 reduced groups, 64 nodes.
+	Small = SmallGeometry(4)
+	// Medium is the CLI-default rung: 6 widened groups, 192 nodes.
+	Medium = MediumGeometry(6)
+	// Large is the paper's Piz Daint allocation of Figure 8: 6 full Aries
+	// groups, 576 routers, 2304 nodes.
+	Large = AriesGeometry(6)
+	// Daint is the machine-scale rung, sized like the full Piz Daint system:
+	// 14 full Aries groups, 1344 routers, 5376 nodes. The compact
+	// topology/link-state arenas exist so this rung simulates on a laptop.
+	Daint = AriesGeometry(14)
+)
+
+// GeometryRung names one rung of the geometry ladder.
+type GeometryRung struct {
+	// Name is the rung's ladder name ("small" ... "daint").
+	Name string
+	// Geometry is the machine shape of the rung.
+	Geometry Geometry
+}
+
+// GeometryLadder returns the standard rungs in ascending size order. The
+// slice is freshly allocated; callers may reorder or truncate it.
+func GeometryLadder() []GeometryRung {
+	return []GeometryRung{
+		{Name: "small", Geometry: Small},
+		{Name: "medium", Geometry: Medium},
+		{Name: "large", Geometry: Large},
+		{Name: "daint", Geometry: Daint},
+	}
+}
+
+// ParseGeometry maps a command-line geometry name to a machine shape: a
+// ladder rung ("small", "medium", "large", "daint"), or a parameterized
+// preset with an explicit group count — "small:N", "medium:N", "aries:N".
+// Names are case-insensitive.
+func ParseGeometry(s string) (Geometry, error) {
+	name, suffix, hasGroups := strings.Cut(strings.ToLower(strings.TrimSpace(s)), ":")
+	groups := 0
+	if hasGroups {
+		n, err := strconv.Atoi(suffix)
+		if err != nil || n < 1 {
+			return Geometry{}, fmt.Errorf("dragonfly: bad group count %q in geometry %q", suffix, s)
+		}
+		groups = n
+	}
+	var g Geometry
+	switch name {
+	case "small":
+		if !hasGroups {
+			groups = Small.Groups
+		}
+		g = SmallGeometry(groups)
+	case "medium":
+		if !hasGroups {
+			groups = Medium.Groups
+		}
+		g = MediumGeometry(groups)
+	case "aries":
+		if !hasGroups {
+			return Geometry{}, fmt.Errorf("dragonfly: geometry %q needs a group count (aries:N)", s)
+		}
+		g = AriesGeometry(groups)
+	case "large", "daint":
+		if hasGroups {
+			return Geometry{}, fmt.Errorf("dragonfly: ladder rung %q takes no group count (use aries:N)", name)
+		}
+		if name == "large" {
+			g = Large
+		} else {
+			g = Daint
+		}
+	default:
+		return Geometry{}, fmt.Errorf("dragonfly: unknown geometry %q (want small, medium, large, daint, small:N, medium:N or aries:N)", s)
+	}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
 
 // config is the resolved set of options a System is built from.
 type config struct {

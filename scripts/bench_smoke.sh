@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_smoke.sh — allocation-regression gate for the experiment suite.
+#
+# Runs BenchmarkSuiteSerial once (-benchtime=1x) and compares its allocs/op
+# against the budget checked in as BENCH_budget.txt. The run fails when
+# allocs/op exceeds the budget by more than 10%: the hot-path refactors (PR 3
+# onwards) hold their gains through an explicit number, not through vigilance.
+#
+# After an intentional allocation change, refresh the budget:
+#   go test -run '^$' -bench '^BenchmarkSuiteSerial$' -benchmem -benchtime 1x .
+# and copy the new allocs/op into BENCH_budget.txt with a justification in
+# the PR description.
+set -eu
+cd "$(dirname "$0")/.."
+
+budget=$(awk '$1 == "allocs_per_op" {print $2}' BENCH_budget.txt)
+if [ -z "$budget" ]; then
+    echo "bench_smoke: no allocs_per_op entry in BENCH_budget.txt" >&2
+    exit 2
+fi
+
+out=$(go test -run '^$' -bench '^BenchmarkSuiteSerial$' -benchmem -benchtime 1x -timeout 30m .)
+echo "$out"
+allocs=$(echo "$out" | awk '/^BenchmarkSuiteSerial/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$allocs" ]; then
+    echo "bench_smoke: could not find allocs/op in benchmark output" >&2
+    exit 2
+fi
+
+limit=$((budget + budget / 10))
+if [ "$allocs" -gt "$limit" ]; then
+    echo "bench_smoke: FAIL — allocs/op $allocs exceeds budget $budget (+10% = $limit)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — allocs/op $allocs within budget $budget (+10% = $limit)"
