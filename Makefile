@@ -29,12 +29,14 @@ examples:
 test:
 	$(GO) test ./...
 
-# race runs the harness, facade, rank-scheduler, batch-scheduler and cmd
-# tests under the race detector (the full experiment suite under -race is
-# slow; CI runs it, locally target the pool, the facade the pool reuses
-# systems through, and the concurrent multi-job path).
+# race runs the harness, facade, rank-scheduler, batch-scheduler, sharded
+# engine/fabric and cmd tests under the race detector (the full experiment
+# suite under -race is slow; CI runs it, locally target the pool, the facade
+# the pool reuses systems through, the concurrent multi-job path, and the
+# parallel horizon windows of the sharded engine).
 race:
-	$(GO) test -race ./internal/harness/... ./internal/mpi/... ./internal/sched/... . ./cmd/...
+	$(GO) test -race ./internal/harness/... ./internal/mpi/... ./internal/sched/... \
+		./internal/sim/... ./internal/network/... . ./cmd/...
 
 # bench runs the full 19-benchmark suite (one testing.B per paper figure/
 # table plus the serial/parallel executor pair) with -benchmem and stores the
@@ -73,6 +75,7 @@ FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRouting$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseGeometry$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseShards$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/alloc
 
 # quick is the fastest end-to-end smoke: build plus one tiny experiment.

@@ -331,3 +331,57 @@ func BenchmarkMachineScaleDaint(b *testing.B) {
 	}
 	b.ReportMetric(meanCycles, "daint_alltoall_mean_cycles")
 }
+
+// BenchmarkDaintSharded runs the Daint-class workload of
+// BenchmarkMachineScaleDaint on the group-sharded engine at several shard
+// counts, with shards=1 as the serial baseline (the facade falls back to
+// the plain engine there). Output is byte-identical at every shard count —
+// the sub-benchmarks cross-check the result against the serial run — so
+// ns/op differences are pure wall-clock. Packet execution stays in the
+// sharded engine's serial domain (the paper's UGAL draws from one shared
+// random stream), so on fabric-dominated workloads like this one the
+// speedup comes from windowed conforming-parallel work only; see
+// EXPERIMENTS.md "Intra-run parallelism" for the measured scaling table
+// and the shard-count guidance.
+func BenchmarkDaintSharded(b *testing.B) {
+	daintRun := func(b *testing.B, shards int) (mean float64, windows, parallel, crossPosts uint64) {
+		sys, err := dragonfly.New(
+			dragonfly.WithGeometry(dragonfly.Daint),
+			dragonfly.WithSeed(1),
+			dragonfly.WithShards(shards),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job, err := sys.Allocate(dragonfly.GroupStriped, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := job.Run(&workloads.Alltoall{MessageBytes: 2 << 10, Iterations: 1},
+			dragonfly.RunOptions{Iterations: 2, StreamStats: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sh := sys.Sharded(); sh != nil {
+			windows, parallel = sh.Windows()
+			crossPosts = sh.CrossPosts()
+		}
+		return res.TimeStats.Mean(), windows, parallel, crossPosts
+	}
+	baseline, _, _, _ := daintRun(b, 1)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			var mean float64
+			var crossPosts uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mean, _, _, crossPosts = daintRun(b, shards)
+			}
+			if mean != baseline {
+				b.Fatalf("shards=%d diverges from serial: mean %v vs %v", shards, mean, baseline)
+			}
+			b.ReportMetric(mean, "daint_alltoall_mean_cycles")
+			b.ReportMetric(float64(crossPosts), "cross_shard_posts")
+		})
+	}
+}

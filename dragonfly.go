@@ -65,6 +65,7 @@ type System struct {
 	policy    *routing.Policy
 	engine    *sim.Engine
 	fabric    *network.Fabric
+	sharded   *sim.Sharded
 	rng       *rand.Rand
 	collector *telemetry.Collector
 
@@ -116,6 +117,17 @@ func New(opts ...Option) (*System, error) {
 		fabric: fab,
 		rng:    rand.New(rand.NewSource(cfg.seed)),
 		used:   make(map[topo.NodeID]bool),
+	}
+	lookahead := fab.LookaheadCycles()
+	if n := resolveShards(cfg.shards, t.Config().Groups, int64(lookahead)); n > 1 {
+		sh, err := sim.NewSharded(engine, t.Config().Groups, n, lookahead)
+		if err != nil {
+			return nil, err
+		}
+		if err := fab.AttachSharding(sh); err != nil {
+			return nil, err
+		}
+		s.sharded = sh
 	}
 	if cfg.telemetry != nil {
 		col, err := telemetry.NewCollector(fab, *cfg.telemetry)
@@ -187,6 +199,22 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // Fabric returns the simulated network, for subsystems that attach to it
 // directly (telemetry collectors, message logs, the batch scheduler).
 func (s *System) Fabric() *network.Fabric { return s.fabric }
+
+// Shards returns the effective shard count of the intra-run parallel engine:
+// 1 for a serial system (the default, single-group geometries, or
+// WithShards(1)), otherwise the resolved WithShards request.
+func (s *System) Shards() int {
+	if s.sharded == nil {
+		return 1
+	}
+	return s.sharded.Shards()
+}
+
+// Sharded returns the group-sharded engine driver, or nil for a serial
+// system. It is an escape hatch like Engine and Fabric: harnesses read its
+// window/cross-post statistics, and conforming-parallel workloads schedule
+// through it.
+func (s *System) Sharded() *sim.Sharded { return s.sharded }
 
 // Rand returns the system's allocation random stream. The trial harness
 // exposes it so trial bodies draw from the same deterministic stream the

@@ -64,6 +64,12 @@ type Options struct {
 	// 0 means GOMAXPROCS, 1 runs serially. For a fixed Seed the resulting
 	// tables are byte-identical at every setting.
 	Parallel int
+	// Shards is the per-trial intra-run shard count (dragonfly.WithShards):
+	// 0 keeps the serial engine, n > 0 partitions each trial's machine by
+	// dragonfly group. Like Parallel, it changes wall-clock time only — for
+	// a fixed Seed the tables are byte-identical at every setting, and the
+	// harness divides its worker budget by the shard count.
+	Shards int
 	// Progress, if non-nil, receives one callback per finished trial.
 	Progress func(harness.Progress)
 
@@ -198,6 +204,13 @@ func (o Options) noiseSpec(pattern noise.Pattern) *harness.NoiseSpec {
 // runTrials executes trial specs through the worker-pool harness configured
 // by the options (seed, parallelism, progress callback, cancellation).
 func (o Options) runTrials(specs []harness.TrialSpec) ([]harness.Result, error) {
+	if o.Shards > 0 {
+		for i := range specs {
+			if specs[i].Shards == 0 {
+				specs[i].Shards = o.Shards
+			}
+		}
+	}
 	ex := &harness.Executor{Parallel: o.Parallel, Seed: o.Seed, OnProgress: o.Progress}
 	return ex.Run(o.context(), specs)
 }

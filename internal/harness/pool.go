@@ -15,6 +15,7 @@ import (
 // All fields are comparable value types, so key equality is plain ==.
 type envKey struct {
 	geometry   topo.Config
+	shards     int
 	hasRouting bool
 	routing    routing.Params
 	hasNetwork bool
@@ -23,7 +24,7 @@ type envKey struct {
 
 // specKey extracts the construction-affecting fields of a spec.
 func specKey(spec TrialSpec) envKey {
-	k := envKey{geometry: spec.Geometry}
+	k := envKey{geometry: spec.Geometry, shards: spec.Shards}
 	if spec.RoutingParams != nil {
 		k.hasRouting, k.routing = true, *spec.RoutingParams
 	}
@@ -64,6 +65,9 @@ func (p *systemPool) acquire(spec TrialSpec, seed int64) (*dragonfly.System, err
 	opts := []dragonfly.Option{
 		dragonfly.WithGeometry(spec.Geometry),
 		dragonfly.WithSeed(seed),
+	}
+	if spec.Shards > 0 {
+		opts = append(opts, dragonfly.WithShards(spec.Shards))
 	}
 	if spec.RoutingParams != nil {
 		opts = append(opts, dragonfly.WithRouting(*spec.RoutingParams))

@@ -154,10 +154,12 @@ func NewComm(fabric *network.Fabric, a *alloc.Allocation, cfg Config) (*Comm, er
 		} else {
 			provider = DefaultRouting()
 		}
+		node := a.Node(i)
 		c.ranks = append(c.ranks, &Rank{
 			comm:    c,
 			rank:    i,
-			node:    a.Node(i),
+			node:    node,
+			group:   int32(fabric.Topology().GroupOfNode(node)),
 			routing: provider,
 			resume:  make(chan struct{}),
 		})

@@ -17,6 +17,7 @@ type Rank struct {
 	comm    *Comm
 	rank    int
 	node    topo.NodeID
+	group   int32
 	routing RoutingProvider
 
 	resume   chan struct{}
@@ -115,7 +116,14 @@ func (r *Rank) Compute(cycles int64) {
 	// (this is the hottest non-fabric scheduling site: every host-noise sample
 	// and selector overhead charge lands here).
 	r.computeDone = false
-	r.comm.engine().ScheduleCall(doneAt, r, 0, 0)
+	if sh := r.comm.fabric.Sharding(); sh != nil {
+		// On a sharded system the rank is pinned to its node's group: the
+		// wakeup is filed on the owning shard's heap, with its global
+		// sequence number intact so the execution order stays byte-identical.
+		sh.ScheduleResident(r.group, doneAt, r, 0, 0)
+	} else {
+		r.comm.engine().ScheduleCall(doneAt, r, 0, 0)
+	}
 	for !r.computeDone {
 		r.block()
 	}

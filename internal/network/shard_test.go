@@ -1,0 +1,187 @@
+package network
+
+import (
+	"testing"
+
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topo"
+)
+
+// shardedFabric builds a fabric with a sharded driver attached.
+func shardedFabric(t *testing.T, groups, shards int, seed int64) (*Fabric, *sim.Engine, *sim.Sharded) {
+	t.Helper()
+	f, _, eng := testFabric(t, groups, seed)
+	sh, err := sim.NewSharded(eng, groups, shards, f.LookaheadCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachSharding(sh); err != nil {
+		t.Fatal(err)
+	}
+	return f, eng, sh
+}
+
+// driveTraffic runs a deterministic cross-group traffic pattern — chained
+// request/reply pairs between every group pair plus local traffic — and
+// returns a digest of the complete delivery stream (every field that could
+// drift) plus the executed event count.
+func driveTraffic(t *testing.T, f *Fabric, eng *sim.Engine) (uint64, uint64) {
+	t.Helper()
+	var digest uint64
+	fold := func(v uint64) { digest = digest*0x100000001b3 ^ v }
+	f.AddDeliveryObserver(func(d Delivery) {
+		fold(uint64(d.Src)<<32 | uint64(d.Dst))
+		fold(uint64(d.SendStart))
+		fold(uint64(d.DeliveredAt))
+		fold(uint64(d.LastResponseAt))
+		fold(d.Counters.RequestFlits)
+		fold(d.Counters.RequestPacketsCumLatency)
+	})
+	tt := f.Topology()
+	groups := tt.Config().Groups
+	modes := []routing.Mode{routing.Adaptive, routing.MinHash, routing.NonMinHash, routing.AdaptiveHighBias}
+	hop := 0
+	var chain func(src, dst topo.NodeID, depth int) func(Delivery)
+	chain = func(src, dst topo.NodeID, depth int) func(Delivery) {
+		return func(d Delivery) {
+			if depth == 0 {
+				return
+			}
+			// Reply and forward to the next group, exercising cross-group
+			// inject handoffs from within delivery callbacks.
+			ng := (int(tt.GroupOfNode(dst)) + 1) % groups
+			next := nodeAt(tt, ng, 0, int(dst)%2, int(src)%2)
+			mode := modes[hop%len(modes)]
+			hop++
+			if err := f.Send(dst, next, 3<<10, SendOptions{Mode: mode}, chain(dst, next, depth-1)); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	for g := 0; g < groups; g++ {
+		src := nodeAt(tt, g, 0, 0, 0)
+		dst := nodeAt(tt, (g+1)%groups, 1, 1, 1)
+		if err := f.Send(src, dst, 8<<10, SendOptions{Mode: routing.Adaptive}, chain(src, dst, 6)); err != nil {
+			t.Fatal(err)
+		}
+		local := nodeAt(tt, g, 1, 0, 1)
+		if err := f.Send(src, local, 2<<10, SendOptions{Mode: routing.InOrder}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fold(f.PacketsInjected())
+	fold(uint64(eng.Now()))
+	return digest, eng.ExecutedEvents()
+}
+
+// TestShardedFabricByteIdenticalToSerial is the fabric-level determinism
+// bar: the same traffic on an unsharded fabric and on sharded fabrics at
+// several shard counts produces an identical delivery stream, packet count,
+// event count and final clock.
+func TestShardedFabricByteIdenticalToSerial(t *testing.T) {
+	const groups, seed = 4, 11
+	serialF, _, serialE := testFabric(t, groups, seed)
+	wantDigest, wantEvents := driveTraffic(t, serialF, serialE)
+	if wantEvents == 0 {
+		t.Fatal("traffic executed no events")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		f, eng, sh := shardedFabric(t, groups, shards, seed)
+		digest, events := driveTraffic(t, f, eng)
+		if digest != wantDigest || events != wantEvents {
+			t.Fatalf("shards=%d diverges from serial: digest %#x/%#x events %d/%d",
+				shards, digest, wantDigest, events, wantEvents)
+		}
+		if shards > 1 && sh.CrossPosts() == 0 {
+			t.Fatalf("shards=%d: cross-group traffic never used the mailboxes", shards)
+		}
+	}
+}
+
+// TestShardedFabricResetRerunsIdentically pins that the sharding attachment
+// survives Reset and the reset system reruns byte-identically.
+func TestShardedFabricResetRerunsIdentically(t *testing.T) {
+	f, eng, _ := shardedFabric(t, 4, 2, 11)
+	first, _ := driveTraffic(t, f, eng)
+	eng.Reset(11)
+	f.Reset()
+	if f.Sharding() == nil {
+		t.Fatal("Reset dropped the sharding attachment")
+	}
+	again, _ := driveTraffic(t, f, eng)
+	if first != again {
+		t.Fatalf("rerun after Reset diverges: %#x vs %#x", again, first)
+	}
+}
+
+// TestLookaheadCycles pins the lookahead bound: the optical propagation
+// delay for multi-group geometries, zero for a single group.
+func TestLookaheadCycles(t *testing.T) {
+	f, _, _ := testFabric(t, 4, 1)
+	if got, want := f.LookaheadCycles(), f.Config().OpticalPropagation; got != want {
+		t.Fatalf("LookaheadCycles = %d, want optical propagation %d", got, want)
+	}
+	single, _, _ := testFabric(t, 1, 1)
+	if got := single.LookaheadCycles(); got != 0 {
+		t.Fatalf("single-group LookaheadCycles = %d, want 0", got)
+	}
+}
+
+// TestAttachShardingValidation pins attachment error cases.
+func TestAttachShardingValidation(t *testing.T) {
+	f, _, eng := testFabric(t, 4, 1)
+	if err := f.AttachSharding(nil); err == nil {
+		t.Fatal("nil driver accepted")
+	}
+	wrong, err := sim.NewSharded(eng, 3, 2, 100) // group count mismatch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachSharding(wrong); err == nil {
+		t.Fatal("group-count mismatch accepted")
+	}
+	other := sim.NewEngine(1)
+	foreign, err := sim.NewSharded(other, 4, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachSharding(foreign); err == nil {
+		t.Fatal("foreign-engine driver accepted")
+	}
+}
+
+// TestShardPlanCoversMachine pins the partition report: every shard owns a
+// dense span, the spans tile the machine exactly, and link ownership sums to
+// the link count.
+func TestShardPlanCoversMachine(t *testing.T) {
+	f, eng, _ := shardedFabric(t, 4, 3, 1)
+	_ = eng
+	spans := f.ShardPlan()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	nodes, routers, links := 0, 0, 0
+	prevNode, prevRouter := 0, 0
+	for _, sp := range spans {
+		if sp.Nodes[0] != prevNode || sp.Routers[0] != prevRouter {
+			t.Fatalf("shard %d spans are not contiguous: %+v (prev node %d router %d)", sp.Shard, sp, prevNode, prevRouter)
+		}
+		nodes += sp.Nodes[1] - sp.Nodes[0]
+		routers += sp.Routers[1] - sp.Routers[0]
+		links += sp.Links
+		prevNode, prevRouter = sp.Nodes[1], sp.Routers[1]
+	}
+	tt := f.Topology()
+	if nodes != tt.NumNodes() || routers != tt.NumRouters() || links != tt.NumLinks() {
+		t.Fatalf("spans tile %d nodes / %d routers / %d links, machine has %d / %d / %d",
+			nodes, routers, links, tt.NumNodes(), tt.NumRouters(), tt.NumLinks())
+	}
+	serial, _, _ := testFabric(t, 4, 1)
+	if serial.ShardPlan() != nil {
+		t.Fatal("unsharded fabric reported a shard plan")
+	}
+}

@@ -2,6 +2,7 @@ package dragonfly
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -106,6 +107,7 @@ type config struct {
 	routing   RoutingParams
 	network   NetworkConfig
 	seed      int64
+	shards    int
 	noise     *NoiseConfig
 	telemetry *TelemetryConfig
 }
@@ -118,6 +120,7 @@ func defaultConfig() config {
 		routing:  routing.DefaultParams(),
 		network:  network.DefaultConfig(),
 		seed:     1,
+		shards:   1,
 	}
 }
 
@@ -168,6 +171,59 @@ func WithSeed(seed int64) Option {
 		c.seed = seed
 		return nil
 	}
+}
+
+// WithShards enables the intra-run parallel event engine: the machine is
+// partitioned by dragonfly group into n shards with their own event heaps,
+// advanced together in conservative lookahead windows (the minimum global-link
+// latency bounds how far any shard can run ahead). Output is byte-identical
+// to the serial engine at every shard count — same seed, same counters, same
+// telemetry stream — so sharding is purely a wall-clock knob.
+//
+// n = 0 selects automatic sizing (GOMAXPROCS). Whatever is requested is
+// clamped to the number of dragonfly groups, and single-group geometries fall
+// back to the serial engine (there is no cross-group lookahead to exploit).
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("dragonfly: WithShards needs n >= 0 (0 = auto), got %d", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// ParseShards maps a command-line shard-count flag to a WithShards argument:
+// "auto" (or the empty string) selects automatic sizing, otherwise a positive
+// integer. Names are case-insensitive.
+func ParseShards(s string) (int, error) {
+	v := strings.ToLower(strings.TrimSpace(s))
+	if v == "" || v == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("dragonfly: bad shard count %q (want auto or a positive integer)", s)
+	}
+	return n, nil
+}
+
+// resolveShards turns the configured shard request into the effective shard
+// count for a machine with the given number of groups and lookahead bound.
+func resolveShards(requested, groups int, lookahead int64) int {
+	if requested == 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > groups {
+		requested = groups
+	}
+	if groups < 2 || lookahead <= 0 {
+		return 1
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
 }
 
 // WithNoise declares a background interfering job. It is started when the

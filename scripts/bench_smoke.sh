@@ -33,3 +33,29 @@ if [ "$allocs" -gt "$limit" ]; then
     exit 1
 fi
 echo "bench_smoke: OK — allocs/op $allocs within budget $budget (+10% = $limit)"
+
+# Second gate: the sharded engine path. BenchmarkDaintSharded/shards=4 runs
+# the Daint workload on the group-sharded engine (and fails itself if the
+# output drifts from serial); its allocs/op budget keeps the sharding
+# machinery — mailboxes, window workers, per-shard heaps — from growing an
+# allocation habit on the hot path.
+sbudget=$(awk '$1 == "sharded_allocs_per_op" {print $2}' BENCH_budget.txt)
+if [ -z "$sbudget" ]; then
+    echo "bench_smoke: no sharded_allocs_per_op entry in BENCH_budget.txt" >&2
+    exit 2
+fi
+
+out=$(go test -run '^$' -bench '^BenchmarkDaintSharded/shards=4$' -benchmem -benchtime 1x -timeout 30m .)
+echo "$out"
+sallocs=$(echo "$out" | awk '/^BenchmarkDaintSharded/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$sallocs" ]; then
+    echo "bench_smoke: could not find allocs/op in sharded benchmark output" >&2
+    exit 2
+fi
+
+slimit=$((sbudget + sbudget / 10))
+if [ "$sallocs" -gt "$slimit" ]; then
+    echo "bench_smoke: FAIL — sharded allocs/op $sallocs exceeds budget $sbudget (+10% = $slimit)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — sharded allocs/op $sallocs within budget $sbudget (+10% = $slimit)"

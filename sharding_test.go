@@ -1,0 +1,273 @@
+package dragonfly_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"dragonfly"
+	"dragonfly/internal/testutil"
+	"dragonfly/internal/workloads"
+)
+
+// shardedSystem builds a system on the given geometry with the requested
+// intra-run shard count.
+func shardedSystem(t *testing.T, g dragonfly.Geometry, seed int64, shards int) *dragonfly.System {
+	t.Helper()
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(g),
+		dragonfly.WithSeed(seed),
+		dragonfly.WithShards(shards),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// runLadderJob runs one small alltoall job and renders its full Result, the
+// ladder-wide determinism probe.
+func runLadderJob(t *testing.T, sys *dragonfly.System) string {
+	t.Helper()
+	job, err := sys.Allocate(dragonfly.GroupStriped, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(&workloads.Alltoall{MessageBytes: 1 << 10, Iterations: 1},
+		dragonfly.RunOptions{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderResults([]dragonfly.Result{res})
+}
+
+// TestShardedLadderByteIdentical is the tentpole's determinism bar across
+// the whole geometry ladder: for every rung, the rendered Result of the same
+// job is byte-identical at every shard count — the serial engine and the
+// group-sharded engine must be indistinguishable in output.
+func TestShardedLadderByteIdentical(t *testing.T) {
+	for _, rung := range dragonfly.GeometryLadder() {
+		rung := rung
+		t.Run(rung.Name, func(t *testing.T) {
+			if (rung.Name == "large" || rung.Name == "daint") && testing.Short() {
+				t.Skip("machine-scale rung skipped in -short mode")
+			}
+			want := runLadderJob(t, shardedSystem(t, rung.Geometry, 7, 1))
+			for _, shards := range []int{2, 4, 8} {
+				sys := shardedSystem(t, rung.Geometry, 7, shards)
+				if got := runLadderJob(t, sys); got != want {
+					t.Fatalf("shards=%d (effective %d) diverges from serial on %s:\n got: %s\nwant: %s",
+						shards, sys.Shards(), rung.Name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedGoldenLargeSingleRun reruns the Large-rung golden with the
+// sharded engine: every pre-existing golden SHA256 must hold unchanged at
+// every shard count.
+func TestShardedGoldenLargeSingleRun(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		sys := shardedSystem(t, dragonfly.Large, 1, shards)
+		victim, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := victim.Run(&workloads.Alltoall{MessageBytes: 2 << 10, Iterations: 1},
+			dragonfly.RunOptions{Iterations: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sha(renderResults([]dragonfly.Result{res})); got != goldenLargeSingle {
+			t.Fatalf("shards=%d drifted from the serial golden hash:\n got %s\nwant %s",
+				shards, got, goldenLargeSingle)
+		}
+	}
+}
+
+// TestShardedGoldenLargeRunConcurrent reruns the two-application concurrent
+// golden on a sharded system: the MPI scheduler, rank pinning and noise all
+// drive the sharded engine, and the output hash must not move.
+func TestShardedGoldenLargeRunConcurrent(t *testing.T) {
+	sys := shardedSystem(t, dragonfly.Large, 1, 4)
+	victim, err := sys.Allocate(dragonfly.GroupStriped, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor, err := sys.Allocate(dragonfly.GroupStriped, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := dragonfly.NewWorkload("halo3d", neighbor.Size(), workloads.SizeFor("halo3d", 2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.RunConcurrent([]dragonfly.JobRun{
+		{
+			Job:      victim,
+			Workload: &workloads.Alltoall{MessageBytes: 2 << 10, Iterations: 1},
+			Options:  dragonfly.RunOptions{Iterations: 2},
+		},
+		{
+			Job:      neighbor,
+			Workload: nw,
+			Options: dragonfly.RunOptions{
+				Routing:    dragonfly.StaticRouting(dragonfly.AdaptiveHighBias),
+				Iterations: 2,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sha(renderResults(results)); got != goldenLargeConcurrent {
+		t.Fatalf("sharded RunConcurrent drifted from the serial golden hash:\n got %s\nwant %s",
+			got, goldenLargeConcurrent)
+	}
+}
+
+// TestShardedResetMatchesFresh pins the harness pooling contract on a
+// sharded system: Reset reruns byte-identically and keeps the sharding
+// attachment.
+func TestShardedResetMatchesFresh(t *testing.T) {
+	sys := shardedSystem(t, dragonfly.SmallGeometry(4), 9, 2)
+	want := runLadderJob(t, sys)
+	if err := sys.Reset(9); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Shards(); got != 2 {
+		t.Fatalf("Reset dropped sharding: Shards() = %d, want 2", got)
+	}
+	if got := runLadderJob(t, sys); got != want {
+		t.Fatalf("sharded rerun after Reset diverges:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestShardsResolution pins the WithShards fallback ladder: defaults stay
+// serial, single-group geometries fall back to serial, requests clamp to the
+// group count, and 0 selects automatic sizing.
+func TestShardsResolution(t *testing.T) {
+	if got := shardedSystem(t, dragonfly.SmallGeometry(4), 1, 1).Shards(); got != 1 {
+		t.Fatalf("WithShards(1) → Shards() = %d, want 1", got)
+	}
+	if got := shardedSystem(t, dragonfly.SmallGeometry(1), 1, 8).Shards(); got != 1 {
+		t.Fatalf("single-group system → Shards() = %d, want serial fallback 1", got)
+	}
+	if got := shardedSystem(t, dragonfly.SmallGeometry(3), 1, 8).Shards(); got != 3 {
+		t.Fatalf("WithShards(8) on 3 groups → Shards() = %d, want clamp to 3", got)
+	}
+	auto := shardedSystem(t, dragonfly.SmallGeometry(4), 1, 0).Shards()
+	wantAuto := runtime.GOMAXPROCS(0)
+	if wantAuto > 4 {
+		wantAuto = 4
+	}
+	if auto != wantAuto {
+		t.Fatalf("WithShards(0) → Shards() = %d, want %d (GOMAXPROCS clamped to groups)", auto, wantAuto)
+	}
+	sys, err := dragonfly.New(dragonfly.WithGeometry(dragonfly.SmallGeometry(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Shards(); got != 1 {
+		t.Fatalf("default system → Shards() = %d, want serial 1", got)
+	}
+	if sys.Sharded() != nil {
+		t.Fatal("default system exposes a sharded driver")
+	}
+	if _, err := dragonfly.New(dragonfly.WithShards(-1)); err == nil {
+		t.Fatal("WithShards(-1) accepted")
+	}
+}
+
+// TestParseShards pins the CLI grammar of the -shards flag.
+func TestParseShards(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", 0, true},
+		{"auto", 0, true},
+		{" AUTO ", 0, true},
+		{"1", 1, true},
+		{"8", 8, true},
+		{"0", 0, false},
+		{"-2", 0, false},
+		{"four", 0, false},
+		{"4.5", 0, false},
+	} {
+		got, err := dragonfly.ParseShards(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseShards(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestShardedJobRunCancelNoGoroutineLeak is the sharded half of the
+// goroutine-leak contract: a Job.Run cancelled mid-run on a sharded system
+// releases every rank goroutine and leaves no window workers behind.
+func TestShardedJobRunCancelNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sys := shardedSystem(t, dragonfly.SmallGeometry(4), 23, 4)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = job.Run(&workloads.Alltoall{MessageBytes: 4 << 10, Iterations: 1},
+		dragonfly.RunOptions{
+			Iterations: 50,
+			Context:    ctx,
+			HostNoise: func(rank int) int64 {
+				cancel()
+				return 0
+			},
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sharded Job.Run returned %v, want context.Canceled", err)
+	}
+	testutil.WaitGoroutines(t, base)
+}
+
+// TestShardedRunConcurrentCancelNoGoroutineLeak covers the multi-job
+// scheduler path on a sharded system cancelled mid-run.
+func TestShardedRunConcurrentCancelNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sys := shardedSystem(t, dragonfly.SmallGeometry(4), 24, 2)
+	victim, err := sys.Allocate(dragonfly.GroupStriped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor, err := sys.Allocate(dragonfly.GroupStriped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runs := []dragonfly.JobRun{
+		{
+			Job:      victim,
+			Workload: &workloads.Alltoall{MessageBytes: 4 << 10, Iterations: 1},
+			Options: dragonfly.RunOptions{
+				Iterations: 50,
+				Context:    ctx,
+				HostNoise: func(rank int) int64 {
+					cancel()
+					return 0
+				},
+			},
+		},
+		{
+			Job:      neighbor,
+			Workload: workloads.NewHalo3D(8, 128, 2),
+			Options:  dragonfly.RunOptions{Iterations: 2},
+		},
+	}
+	if _, err := sys.RunConcurrent(runs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancellation returned %v, want context.Canceled", err)
+	}
+	testutil.WaitGoroutines(t, base)
+}
