@@ -35,8 +35,8 @@ test:
 # the pool reuses systems through, the concurrent multi-job path, and the
 # parallel horizon windows of the sharded engine).
 race:
-	$(GO) test -race ./internal/harness/... ./internal/mpi/... ./internal/sched/... \
-		./internal/sim/... ./internal/network/... . ./cmd/...
+	$(GO) test -race ./internal/arrival/... ./internal/harness/... ./internal/mpi/... \
+		./internal/sched/... ./internal/sim/... ./internal/network/... . ./cmd/...
 
 # bench runs the full 19-benchmark suite (one testing.B per paper figure/
 # table plus the serial/parallel executor pair) with -benchmem and stores the
@@ -76,6 +76,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRouting$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseGeometry$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseShards$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseArrival$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/alloc
 
 # quick is the fastest end-to-end smoke: build plus one tiny experiment.

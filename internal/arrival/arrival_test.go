@@ -1,0 +1,298 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"dragonfly/internal/sim"
+)
+
+// TestEmpiricalMeanInterarrival checks, for every distribution, that the
+// empirical mean gap of a long unmodulated stream lands within tolerance of
+// the configured mean — the property that makes distributions interchangeable
+// burstiness knobs at fixed offered load.
+func TestEmpiricalMeanInterarrival(t *testing.T) {
+	const mean = 50_000
+	const draws = 40_000
+	cases := []Client{
+		{Class: Latency, Dist: Poisson, MeanInterarrivalCycles: mean},
+		{Class: Batch, Dist: Gamma, Shape: 3, MeanInterarrivalCycles: mean},
+		{Class: Batch, Dist: Gamma, Shape: 0.5, MeanInterarrivalCycles: mean},
+		{Class: BestEffort, Dist: Weibull, Shape: 1.5, MeanInterarrivalCycles: mean},
+		{Class: BestEffort, Dist: Weibull, Shape: 0.8, MeanInterarrivalCycles: mean},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Dist.String()+"/"+formatShape(c.Shape), func(t *testing.T) {
+			s, err := NewStream(c, 0, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last sim.Time
+			for i := 0; i < draws; i++ {
+				a := s.Next()
+				if a.At <= last {
+					t.Fatalf("draw %d: arrival time went backwards (%d after %d)", i, a.At, last)
+				}
+				last = a.At
+			}
+			got := float64(last) / draws
+			if rel := math.Abs(got/mean - 1); rel > 0.05 {
+				t.Fatalf("%s empirical mean gap %.0f vs configured %d (%.1f%% off)",
+					c.Dist, got, int64(mean), rel*100)
+			}
+		})
+	}
+}
+
+func formatShape(s float64) string {
+	if s == 0 {
+		return "default"
+	}
+	return "shape=" + trimFloat(s)
+}
+
+func trimFloat(f float64) string {
+	switch {
+	case f == math.Trunc(f):
+		return string(rune('0' + int(f)))
+	default:
+		return "frac"
+	}
+}
+
+// TestStreamDeterminism pins the byte-identical contract: same client, index
+// and seed produce the same arrival sequence; a different seed or index
+// diverges; and — the independence half — a client's stream is unchanged by
+// the presence of other clients in the spec.
+func TestStreamDeterminism(t *testing.T) {
+	c := Client{Class: Batch, Dist: Gamma, Shape: 2, MeanInterarrivalCycles: 80_000}
+	const n = 2000
+	draw := func(s *Stream) []Arrival {
+		out := make([]Arrival, n)
+		for i := range out {
+			out[i] = s.Next()
+		}
+		return out
+	}
+	s1, err := NewStream(c, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewStream(c, 0, 42)
+	a, b := draw(s1), draw(s2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	s3, _ := NewStream(c, 0, 43)
+	if diff := draw(s3); diff[0] == a[0] && diff[1] == a[1] && diff[2] == a[2] {
+		t.Fatalf("different seed reproduced the same leading draws")
+	}
+	s4, _ := NewStream(c, 1, 42)
+	if diff := draw(s4); diff[0].At == a[0].At && diff[1].At == a[1].At && diff[2].At == a[2].At {
+		t.Fatalf("different client index reproduced the same leading arrival times")
+	}
+
+	// Independence: the first client of a 1-client spec and of a 4-client
+	// spec draw identical sequences.
+	solo, err := NewStreams(Spec{Clients: []Client{c}}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := NewStreams(Spec{Clients: append([]Client{c}, DefaultClients(3, 60_000)...)}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave draws on the other streams to prove they cannot perturb
+	// client 0.
+	for i := 0; i < n; i++ {
+		want := solo[0].Next()
+		for _, other := range crowd[1:] {
+			other.Next()
+		}
+		if got := crowd[0].Next(); got != want {
+			t.Fatalf("draw %d: client 0 perturbed by co-resident clients: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+// TestDiurnalPreservesMeanRate checks that sinusoidal modulation redistributes
+// load within the day without changing the daily mean rate: over many whole
+// periods, the arrival count matches the unmodulated expectation within a few
+// percent.
+func TestDiurnalPreservesMeanRate(t *testing.T) {
+	const mean = 10_000
+	const period = 2_000_000 // 200 gaps per day: gaps short against the period
+	c := Client{
+		Class: Latency, Dist: Poisson, MeanInterarrivalCycles: mean,
+		Diurnal: Diurnal{Amplitude: 0.7, PeriodCycles: period, PhaseFrac: 0.25},
+	}
+	s, err := NewStream(c, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const days = 100
+	horizon := sim.Time(days * period)
+	count := 0
+	for {
+		a := s.Next()
+		if a.At > horizon {
+			break
+		}
+		count++
+	}
+	want := float64(horizon) / mean
+	if rel := math.Abs(float64(count)/want - 1); rel > 0.05 {
+		t.Fatalf("diurnal stream produced %d arrivals over %d days, want ~%.0f (%.1f%% off)",
+			count, days, want, rel*100)
+	}
+}
+
+// TestDiurnalRateShape pins the modulation envelope itself: with a positive
+// phase-0 sine, the first half-period must carry more arrivals than the
+// second.
+func TestDiurnalRateShape(t *testing.T) {
+	const mean = 5_000
+	const period = 4_000_000
+	c := Client{
+		Class: Latency, Dist: Poisson, MeanInterarrivalCycles: mean,
+		Diurnal: Diurnal{Amplitude: 0.8, PeriodCycles: period},
+	}
+	s, err := NewStream(c, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstHalf, secondHalf int
+	const days = 40
+	for {
+		a := s.Next()
+		if a.At > days*period {
+			break
+		}
+		if a.At%period < period/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if firstHalf <= secondHalf {
+		t.Fatalf("peak half-period carried %d arrivals vs %d in the trough half", firstHalf, secondHalf)
+	}
+}
+
+// TestStreamDrawBounds checks the size/duration draws respect their ranges.
+func TestStreamDrawBounds(t *testing.T) {
+	c := Client{
+		Class: Batch, Dist: Weibull, Shape: 0.7, MeanInterarrivalCycles: 20_000,
+		MinNodes: 3, MaxNodes: 24, MinDurationCycles: 1000, MaxDurationCycles: 9000,
+	}
+	s, err := NewStream(c, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenMin, seenMax := false, false
+	for i := 0; i < 20_000; i++ {
+		a := s.Next()
+		if a.Nodes < 3 || a.Nodes > 24 {
+			t.Fatalf("draw %d: nodes %d outside [3, 24]", i, a.Nodes)
+		}
+		if a.DurationCycles < 1000 || a.DurationCycles > 9000 {
+			t.Fatalf("draw %d: duration %d outside [1000, 9000]", i, a.DurationCycles)
+		}
+		if a.Class != Batch || a.Client != 2 {
+			t.Fatalf("draw %d: wrong identity %+v", i, a)
+		}
+		seenMin = seenMin || a.Nodes == 3
+		seenMax = seenMax || a.Nodes == 24
+	}
+	if !seenMin || !seenMax {
+		t.Fatalf("log-uniform size draw never reached its bounds (min seen %v, max seen %v)", seenMin, seenMax)
+	}
+}
+
+// TestParseSpec pins the grammar: good inputs parse to the expected clients,
+// bad inputs error.
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec(" Latency:Poisson:150000:nodes=2-8 ; batch:gamma:600000:shape=2.5:dur=1000-5000 ; besteffort:weibull:300000:diurnal=0.5:period=9000000:phase=0.25:name=Spot ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Clients) != 3 {
+		t.Fatalf("parsed %d clients, want 3", len(spec.Clients))
+	}
+	c0, c1, c2 := spec.Clients[0], spec.Clients[1], spec.Clients[2]
+	if c0.Class != Latency || c0.Dist != Poisson || c0.MeanInterarrivalCycles != 150_000 ||
+		c0.MinNodes != 2 || c0.MaxNodes != 8 {
+		t.Fatalf("client 0 parsed wrong: %+v", c0)
+	}
+	if c1.Class != Batch || c1.Dist != Gamma || c1.Shape != 2.5 ||
+		c1.MinDurationCycles != 1000 || c1.MaxDurationCycles != 5000 {
+		t.Fatalf("client 1 parsed wrong: %+v", c1)
+	}
+	if c2.Class != BestEffort || c2.Dist != Weibull ||
+		c2.Diurnal.Amplitude != 0.5 || c2.Diurnal.PeriodCycles != 9_000_000 ||
+		c2.Diurnal.PhaseFrac != 0.25 || c2.Name != "spot" {
+		t.Fatalf("client 2 parsed wrong: %+v", c2)
+	}
+	// Defaults fill in.
+	if c0.Name == "" || c0.MinDurationCycles == 0 || c1.MinNodes == 0 {
+		t.Fatalf("defaults not applied: %+v / %+v", c0, c1)
+	}
+
+	bad := []string{
+		"", ";", "latency", "latency:poisson", "latency:poisson:0",
+		"latency:poisson:-5", "gold:poisson:100", "latency:zipf:100",
+		"latency:poisson:100:bogus=1", "latency:poisson:100:nodes=8-2",
+		"latency:poisson:100:shape=0", "latency:gamma:100:shape=-2",
+		"latency:poisson:100:diurnal=1.5", "latency:poisson:100:nodes=",
+		"latency:poisson:100:dur=0-5", "latency:poisson:100;;",
+		"latency:poisson:99999999999999999999",
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Fatalf("ParseSpec(%q) unexpectedly succeeded", in)
+		}
+	}
+}
+
+// TestClassTargets pins the SLO semantics documented in EXPERIMENTS.md.
+func TestClassTargets(t *testing.T) {
+	if Latency.TargetSlowdown() != 4 || Batch.TargetSlowdown() != 16 {
+		t.Fatalf("target slowdowns drifted: latency %v, batch %v",
+			Latency.TargetSlowdown(), Batch.TargetSlowdown())
+	}
+	if !math.IsInf(BestEffort.TargetSlowdown(), 1) {
+		t.Fatalf("besteffort target should be unbounded, got %v", BestEffort.TargetSlowdown())
+	}
+	for _, c := range []Class{Latency, Batch, BestEffort} {
+		back, err := ParseClass(c.String())
+		if err != nil || back != c {
+			t.Fatalf("class %v does not round-trip: %v / %v", c, back, err)
+		}
+	}
+	for _, d := range []Distribution{Poisson, Gamma, Weibull} {
+		back, err := ParseDistribution(d.String())
+		if err != nil || back != d {
+			t.Fatalf("distribution %v does not round-trip: %v / %v", d, back, err)
+		}
+	}
+}
+
+// TestJainIndex pins the fairness-index formula.
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{3, 3, 3, 3}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: J = %v, want 1", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("one-tenant monopoly over 4: J = %v, want 0.25", j)
+	}
+	if j := JainIndex(nil); j != 0 {
+		t.Fatalf("empty input: J = %v, want 0", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 0 {
+		t.Fatalf("all-zero input: J = %v, want 0", j)
+	}
+}

@@ -1,0 +1,147 @@
+package arrival
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dragonfly/internal/sim"
+)
+
+// ParseSpec parses the command-line arrival grammar, one client per
+// semicolon-separated term:
+//
+//	spec   := client (';' client)*
+//	client := class ':' dist ':' mean-cycles (':' key '=' value)*
+//	class  := latency | batch | besteffort
+//	dist   := poisson | gamma | weibull
+//	keys   := shape=F | nodes=LO-HI | dur=LO-HI | diurnal=AMPL |
+//	          period=CYCLES | phase=F | name=S
+//
+// For example:
+//
+//	latency:poisson:150000:nodes=2-8;batch:gamma:600000:shape=2:nodes=8-64
+//	besteffort:weibull:300000:diurnal=0.5:period=10000000
+//
+// Input is case-insensitive and whitespace around every token is ignored,
+// like ParseGeometry/ParseRouting. Unset keys take the package defaults
+// (see Client).
+func ParseSpec(s string) (Spec, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return Spec{}, fmt.Errorf("arrival: empty arrival spec")
+	}
+	var spec Spec
+	for i, term := range strings.Split(s, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return Spec{}, fmt.Errorf("arrival: empty client term %d in %q", i, s)
+		}
+		c, err := parseClient(term)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Clients = append(spec.Clients, c)
+	}
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// parseClient parses one colon-separated client term.
+func parseClient(term string) (Client, error) {
+	fields := strings.Split(term, ":")
+	if len(fields) < 3 {
+		return Client{}, fmt.Errorf("arrival: client %q needs class:dist:mean", term)
+	}
+	var c Client
+	var err error
+	if c.Class, err = ParseClass(strings.TrimSpace(fields[0])); err != nil {
+		return Client{}, err
+	}
+	if c.Dist, err = ParseDistribution(strings.TrimSpace(fields[1])); err != nil {
+		return Client{}, err
+	}
+	mean, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+	if err != nil || mean <= 0 {
+		return Client{}, fmt.Errorf("arrival: client %q has bad mean interarrival %q", term, fields[2])
+	}
+	c.MeanInterarrivalCycles = mean
+	for _, kv := range fields[3:] {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Client{}, fmt.Errorf("arrival: client %q has bad parameter %q (want key=value)", term, kv)
+		}
+		switch key {
+		case "shape":
+			if c.Shape, err = parsePositiveFloat(val); err != nil {
+				return Client{}, fmt.Errorf("arrival: client %q: shape: %v", term, err)
+			}
+		case "nodes":
+			if c.MinNodes, c.MaxNodes, err = parseRange(val); err != nil {
+				return Client{}, fmt.Errorf("arrival: client %q: nodes: %v", term, err)
+			}
+		case "dur":
+			var lo, hi int
+			if lo, hi, err = parseRange(val); err != nil {
+				return Client{}, fmt.Errorf("arrival: client %q: dur: %v", term, err)
+			}
+			c.MinDurationCycles, c.MaxDurationCycles = sim.Time(lo), sim.Time(hi)
+		case "diurnal":
+			if c.Diurnal.Amplitude, err = strconv.ParseFloat(val, 64); err != nil {
+				return Client{}, fmt.Errorf("arrival: client %q: diurnal: bad amplitude %q", term, val)
+			}
+		case "period":
+			p, perr := strconv.ParseInt(val, 10, 64)
+			if perr != nil || p <= 0 {
+				return Client{}, fmt.Errorf("arrival: client %q: period: bad cycle count %q", term, val)
+			}
+			c.Diurnal.PeriodCycles = p
+		case "phase":
+			if c.Diurnal.PhaseFrac, err = strconv.ParseFloat(val, 64); err != nil {
+				return Client{}, fmt.Errorf("arrival: client %q: phase: bad fraction %q", term, val)
+			}
+		case "name":
+			c.Name = val
+		default:
+			return Client{}, fmt.Errorf("arrival: client %q has unknown parameter %q", term, key)
+		}
+	}
+	// A diurnal amplitude without a period gets a default day of 100x the
+	// mean gap, so "diurnal=0.5" alone is usable.
+	if c.Diurnal.Amplitude > 0 && c.Diurnal.PeriodCycles == 0 {
+		c.Diurnal.PeriodCycles = 100 * c.MeanInterarrivalCycles
+	}
+	return c, nil
+}
+
+func parsePositiveFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad positive number %q", s)
+	}
+	return v, nil
+}
+
+// parseRange parses "LO-HI" (or a single "N", meaning N-N).
+func parseRange(s string) (lo, hi int, err error) {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		b = a
+	}
+	lo, err = strconv.Atoi(strings.TrimSpace(a))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	hi, err = strconv.Atoi(strings.TrimSpace(b))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	if lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("bad range %q (want 1 <= lo <= hi)", s)
+	}
+	return lo, hi, nil
+}

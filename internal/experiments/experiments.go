@@ -287,6 +287,7 @@ func Registry() map[string]Runner {
 		"telemetry":   TelemetryCongestion,
 		"biassweep":   BiasSweep,
 		"fullmachine": FullMachine,
+		"openstream":  OpenStream,
 	}
 }
 

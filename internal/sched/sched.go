@@ -262,12 +262,18 @@ type Scheduler struct {
 	jobs    []*JobRecord
 	queue   []*JobRecord
 	running map[int]*JobRecord
-	busy    map[topo.NodeID]bool
 	started bool
 
-	// reserved is the set of nodes excluded from scheduling (e.g. nodes used
-	// by a measured foreground job).
-	reserved map[topo.NodeID]bool
+	// nodes tracks the busy/free state of every machine node incrementally
+	// (bitset plus free list) instead of rebuilding exclusion maps per pass.
+	nodes *alloc.Tracker
+	// busyCount is the number of nodes held by running jobs; reservedCount the
+	// number excluded from scheduling (e.g. nodes of a measured foreground
+	// job). Both are also marked busy in the tracker.
+	busyCount     int
+	reservedCount int
+	// scratch is the recycled destination for tracker allocations.
+	scratch []topo.NodeID
 
 	// exec, when attached, runs workload-driven jobs (JobSpec.App) as real
 	// co-scheduled applications instead of synthetic generators.
@@ -280,13 +286,12 @@ type Scheduler struct {
 // New builds a scheduler over the fabric's machine.
 func New(f *network.Fabric, cfg Config) *Scheduler {
 	return &Scheduler{
-		fabric:   f,
-		topo:     f.Topology(),
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		running:  make(map[int]*JobRecord),
-		busy:     make(map[topo.NodeID]bool),
-		reserved: make(map[topo.NodeID]bool),
+		fabric:  f,
+		topo:    f.Topology(),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		running: make(map[int]*JobRecord),
+		nodes:   alloc.NewTracker(f.Topology()),
 	}
 }
 
@@ -333,13 +338,19 @@ func (s *Scheduler) Drive(ctx context.Context) error {
 // allocation of a measured foreground job from being handed to batch jobs.
 func (s *Scheduler) Reserve(nodes []topo.NodeID) {
 	for _, n := range nodes {
-		s.reserved[n] = true
+		if !s.nodes.Busy(n) {
+			s.reservedCount++
+		}
 	}
+	s.nodes.Reserve(nodes)
 }
 
-// Jobs returns all job records in submission order. The caller must not modify
-// the slice.
-func (s *Scheduler) Jobs() []*JobRecord { return s.jobs }
+// Jobs returns all job records in submission order, as a fresh slice the
+// caller may reorder or truncate freely. (The records themselves are shared;
+// the scheduler keeps updating them as jobs progress.)
+func (s *Scheduler) Jobs() []*JobRecord {
+	return append([]*JobRecord(nil), s.jobs...)
+}
 
 // QueueLength returns the number of jobs currently waiting.
 func (s *Scheduler) QueueLength() int { return len(s.queue) }
@@ -348,26 +359,17 @@ func (s *Scheduler) QueueLength() int { return len(s.queue) }
 func (s *Scheduler) RunningJobs() int { return len(s.running) }
 
 // FreeNodes returns the number of nodes that are neither busy nor reserved.
-func (s *Scheduler) FreeNodes() int {
-	return s.topo.NumNodes() - len(s.busy) - s.countReservedFree()
-}
+func (s *Scheduler) FreeNodes() int { return s.nodes.FreeNodes() }
 
-// countReservedFree counts reserved nodes that are not also busy.
-func (s *Scheduler) countReservedFree() int {
-	n := 0
-	for node := range s.reserved {
-		if !s.busy[node] {
-			n++
-		}
-	}
-	return n
-}
+// Fragmentation returns how shattered the free capacity currently is
+// (1 − largest free run / free nodes; see alloc.Tracker.Fragmentation).
+func (s *Scheduler) Fragmentation() float64 { return s.nodes.Fragmentation() }
 
 // Submit registers a job. Jobs submitted before Start are scheduled at their
 // arrival time; jobs submitted after Start are scheduled relative to the
 // current time.
 func (s *Scheduler) Submit(spec JobSpec) (*JobRecord, error) {
-	if err := spec.Validate(s.topo.NumNodes() - len(s.reserved)); err != nil {
+	if err := spec.Validate(s.topo.NumNodes() - s.reservedCount); err != nil {
 		return nil, err
 	}
 	rec := &JobRecord{ID: len(s.jobs), Spec: spec, State: Queued}
@@ -414,7 +416,7 @@ func (s *Scheduler) scheduleArrival(rec *JobRecord) {
 func (s *Scheduler) accountUtilization() {
 	now := s.fabric.Engine().Now()
 	if now > s.lastAccounting {
-		s.busyNodeCycles += uint64(now-s.lastAccounting) * uint64(len(s.busy))
+		s.busyNodeCycles += uint64(now-s.lastAccounting) * uint64(s.busyCount)
 		s.lastAccounting = now
 	}
 }
@@ -435,18 +437,6 @@ func (s *Scheduler) allocPolicyFor(spec JobSpec) alloc.Policy {
 	default:
 		return alloc.Contiguous
 	}
-}
-
-// exclusionSet returns the nodes a new job may not use.
-func (s *Scheduler) exclusionSet() map[topo.NodeID]bool {
-	out := make(map[topo.NodeID]bool, len(s.busy)+len(s.reserved))
-	for n := range s.busy {
-		out[n] = true
-	}
-	for n := range s.reserved {
-		out[n] = true
-	}
-	return out
 }
 
 // earliestCompletion returns the earliest finish time among running jobs, or
@@ -511,20 +501,20 @@ func (s *Scheduler) trySchedule() {
 func (s *Scheduler) startJob(rec *JobRecord) {
 	s.accountUtilization()
 	eng := s.fabric.Engine()
-	a, err := alloc.Allocate(s.topo, s.allocPolicyFor(rec.Spec), rec.Spec.Nodes, s.rng, s.exclusionSet())
+	nodes, err := s.nodes.Allocate(s.allocPolicyFor(rec.Spec), rec.Spec.Nodes, s.rng, s.scratch[:0])
+	s.scratch = nodes[:0]
 	if err != nil {
 		// Should not happen (FreeNodes was checked), but requeue defensively.
 		s.queue = append([]*JobRecord{rec}, s.queue...)
 		return
 	}
+	a := alloc.NewAllocation(s.topo, nodes)
 	rec.Allocation = a
 	rec.State = Running
 	rec.StartedAt = eng.Now()
 	rec.RoutersSpanned = a.NumRouters()
 	rec.GroupsSpanned = a.NumGroups()
-	for _, n := range a.Nodes() {
-		s.busy[n] = true
-	}
+	s.busyCount += a.Size()
 	s.running[rec.ID] = rec
 
 	if rec.Spec.App != nil {
@@ -625,9 +615,8 @@ func (s *Scheduler) finishJob(rec *JobRecord) {
 		rec.generator.Stop()
 		rec.MessagesSent = rec.generator.MessagesSent()
 	}
-	for _, n := range rec.Allocation.Nodes() {
-		delete(s.busy, n)
-	}
+	s.nodes.Free(rec.Allocation.Nodes())
+	s.busyCount -= rec.Allocation.Size()
 	delete(s.running, rec.ID)
 	s.trySchedule()
 }
@@ -706,7 +695,7 @@ func (s *Scheduler) Stats() Stats {
 		window = lastEnd
 	}
 	if window > 0 {
-		usable := uint64(window) * uint64(s.topo.NumNodes()-len(s.reserved))
+		usable := uint64(window) * uint64(s.topo.NumNodes()-s.reservedCount)
 		if usable > 0 {
 			st.Utilization = float64(s.busyNodeCycles) / float64(usable)
 		}

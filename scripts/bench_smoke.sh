@@ -59,3 +59,28 @@ if [ "$sallocs" -gt "$slimit" ]; then
     exit 1
 fi
 echo "bench_smoke: OK — sharded allocs/op $sallocs within budget $sbudget (+10% = $slimit)"
+
+# Third gate: the open-arrival scheduling engine. BenchmarkOpenStream drains
+# 300k job events on the Daint geometry; its allocs/op budget enforces the
+# subsystem's design contract that steady-state operation allocates nothing
+# per job (the count is the fixed system-build cost, not O(events)).
+obudget=$(awk '$1 == "openstream_allocs_per_op" {print $2}' BENCH_budget.txt)
+if [ -z "$obudget" ]; then
+    echo "bench_smoke: no openstream_allocs_per_op entry in BENCH_budget.txt" >&2
+    exit 2
+fi
+
+out=$(go test -run '^$' -bench '^BenchmarkOpenStream$' -benchmem -benchtime 1x -timeout 30m .)
+echo "$out"
+oallocs=$(echo "$out" | awk '/^BenchmarkOpenStream/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$oallocs" ]; then
+    echo "bench_smoke: could not find allocs/op in openstream benchmark output" >&2
+    exit 2
+fi
+
+olimit=$((obudget + obudget / 10))
+if [ "$oallocs" -gt "$olimit" ]; then
+    echo "bench_smoke: FAIL — openstream allocs/op $oallocs exceeds budget $obudget (+10% = $olimit)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — openstream allocs/op $oallocs within budget $obudget (+10% = $olimit)"
