@@ -33,7 +33,10 @@ test:
 # engine/fabric and cmd tests under the race detector (the full experiment
 # suite under -race is slow; CI runs it, locally target the pool, the facade
 # the pool reuses systems through, the concurrent multi-job path, and the
-# parallel horizon windows of the sharded engine).
+# parallel horizon windows of the sharded engine). The facade tests include
+# the ShardableUGAL leak/cancellation regressions (variant_test.go), so the
+# conforming-parallel packet path and its mid-run teardown run under -race
+# at every shard count the tests cover.
 race:
 	$(GO) test -race ./internal/arrival/... ./internal/harness/... ./internal/mpi/... \
 		./internal/sched/... ./internal/sim/... ./internal/network/... . ./cmd/...
@@ -76,6 +79,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRouting$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseGeometry$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseShards$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRoutingVariant$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseArrival$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/alloc
 

@@ -339,19 +339,25 @@ func BenchmarkMachineScaleDaint(b *testing.B) {
 // counts, with shards=1 as the serial baseline (the facade falls back to
 // the plain engine there). Output is byte-identical at every shard count —
 // the sub-benchmarks cross-check the result against the serial run — so
-// ns/op differences are pure wall-clock. Packet execution stays in the
-// sharded engine's serial domain (the paper's UGAL draws from one shared
-// random stream), so on fabric-dominated workloads like this one the
-// speedup comes from windowed conforming-parallel work only; see
-// EXPERIMENTS.md "Intra-run parallelism" for the measured scaling table
-// and the shard-count guidance.
+// ns/op differences are pure wall-clock. Under the default ExactUGAL
+// variant packet execution stays in the sharded engine's serial domain (the
+// paper's UGAL draws from one shared random stream); the variant=shardable
+// rows rerun the same workload under WithRoutingVariant(ShardableUGAL),
+// where ~90% of events become conforming-parallel and execute inside
+// horizon-window workers. See EXPERIMENTS.md "Intra-run parallelism" and
+// "Shardable UGAL" for the measured scaling tables and the one-CPU caveat
+// that applies to the committed numbers.
 func BenchmarkDaintSharded(b *testing.B) {
-	daintRun := func(b *testing.B, shards int) (mean float64, windows, parallel, crossPosts uint64) {
-		sys, err := dragonfly.New(
+	daintRun := func(b *testing.B, shards int, variant dragonfly.RoutingVariant) (mean float64, sys *dragonfly.System) {
+		opts := []dragonfly.Option{
 			dragonfly.WithGeometry(dragonfly.Daint),
 			dragonfly.WithSeed(1),
 			dragonfly.WithShards(shards),
-		)
+		}
+		if variant != dragonfly.ExactUGAL {
+			opts = append(opts, dragonfly.WithRoutingVariant(variant))
+		}
+		sys, err := dragonfly.New(opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -364,26 +370,56 @@ func BenchmarkDaintSharded(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if sh := sys.Sharded(); sh != nil {
-			windows, parallel = sh.Windows()
-			crossPosts = sh.CrossPosts()
-		}
-		return res.TimeStats.Mean(), windows, parallel, crossPosts
+		return res.TimeStats.Mean(), sys
 	}
-	baseline, _, _, _ := daintRun(b, 1)
+	exactBaseline, _ := daintRun(b, 1, dragonfly.ExactUGAL)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
 			var mean float64
 			var crossPosts uint64
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				mean, _, _, crossPosts = daintRun(b, shards)
+				var sys *dragonfly.System
+				mean, sys = daintRun(b, shards, dragonfly.ExactUGAL)
+				if sh := sys.Sharded(); sh != nil {
+					crossPosts = sh.CrossPosts()
+				}
 			}
-			if mean != baseline {
-				b.Fatalf("shards=%d diverges from serial: mean %v vs %v", shards, mean, baseline)
+			if mean != exactBaseline {
+				b.Fatalf("shards=%d diverges from serial: mean %v vs %v", shards, mean, exactBaseline)
 			}
 			b.ReportMetric(mean, "daint_alltoall_mean_cycles")
 			b.ReportMetric(float64(crossPosts), "cross_shard_posts")
+		})
+	}
+	// The shardable variant has its own baseline (shards=1 under the same
+	// variant): its byte stream differs from exact by construction, so the
+	// cross-check is against itself, never against the exact rows above. The
+	// conforming_events_pct metric is the share of the event stream the
+	// horizon-window workers execute — the structural parallelism the variant
+	// unlocks, visible even where core count hides the wall-clock effect.
+	shardableBaseline, _ := daintRun(b, 1, dragonfly.ShardableUGAL)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("variant=shardable/shards="+strconv.Itoa(shards), func(b *testing.B) {
+			var mean, conforming float64
+			var windows uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var sys *dragonfly.System
+				mean, sys = daintRun(b, shards, dragonfly.ShardableUGAL)
+				sh := sys.Sharded()
+				windows, _ = sh.Windows()
+				if total := sys.Engine().ExecutedEvents(); total > 0 {
+					conforming = 100 * float64(sh.ConformingExecuted()) / float64(total)
+				}
+			}
+			if mean != shardableBaseline {
+				b.Fatalf("variant=shardable shards=%d diverges from its shards=1 run: mean %v vs %v",
+					shards, mean, shardableBaseline)
+			}
+			b.ReportMetric(mean, "daint_alltoall_mean_cycles")
+			b.ReportMetric(conforming, "conforming_events_pct")
+			b.ReportMetric(float64(windows), "windows")
 		})
 	}
 }

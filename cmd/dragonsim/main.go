@@ -42,6 +42,7 @@ func run(args []string) error {
 		iterations   = fs.Int("iterations", 3, "workload repetitions")
 		seed         = fs.Int64("seed", 1, "random seed")
 		shardsFlag   = fs.String("shards", "", "intra-run engine shards ('auto', or a count; empty = serial; same output either way)")
+		variantFlag  = fs.String("routing-variant", "", "UGAL variant ('exact' = the paper's serial model, 'shardable' = the relaxed parallel model; changes results)")
 		withNoise    = fs.Bool("noise", false, "add a background interfering job")
 		noiseNodesN  = fs.Int("noise-nodes", 16, "background job size when -noise is set")
 		report       = fs.Int("report", 0, "print a link-utilization report listing the N hottest links")
@@ -86,6 +87,13 @@ func run(args []string) error {
 			return err
 		}
 		sysOpts = append(sysOpts, dragonfly.WithShards(n))
+	}
+	if *variantFlag != "" {
+		v, err := dragonfly.ParseRoutingVariant(*variantFlag)
+		if err != nil {
+			return err
+		}
+		sysOpts = append(sysOpts, dragonfly.WithRoutingVariant(v))
 	}
 	sys, err := dragonfly.New(sysOpts...)
 	if err != nil {

@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		csvDir     = fs.String("csv", "", "directory to also write one CSV file per table")
 		parallel   = fs.Int("parallel", 0, "trial worker goroutines (0 = all cores, 1 = serial; same output either way)")
 		shards     = fs.String("shards", "", "intra-run engine shards per trial ('auto', or a count; empty = serial; same output either way)")
+		variant    = fs.String("routing-variant", "", "UGAL variant per trial ('exact' = the paper's serial model, 'shardable' = the relaxed parallel model; changes results, see EXPERIMENTS.md)")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		progress   = fs.Bool("progress", false, "print per-trial progress to stderr")
 	)
@@ -101,6 +102,13 @@ func run(args []string, out io.Writer) error {
 			n = runtime.GOMAXPROCS(0)
 		}
 		opts.Shards = n
+	}
+	if *variant != "" {
+		v, err := dragonfly.ParseRoutingVariant(*variant)
+		if err != nil {
+			return err
+		}
+		opts.Variant = v
 	}
 	if *progress {
 		opts.Progress = func(p harness.Progress) {

@@ -19,6 +19,7 @@ import (
 	"dragonfly/internal/network"
 	"dragonfly/internal/topo"
 	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
 )
 
 func main() {
@@ -115,22 +116,60 @@ func run(args []string) error {
 }
 
 // printLadder builds every rung of the geometry ladder and tabulates its
-// size, adjacency memory and lookahead horizon — the quick answer to "what
-// does each rung cost before I run on it". The lookahead column is the
-// minimum global-link latency under the default fabric configuration: the
-// conservative horizon the sharded engine (WithShards) advances per window,
-// and 0 for rungs that cannot shard.
+// size, adjacency memory, lookahead horizon and conforming-event fraction —
+// the quick answer to "what does each rung cost before I run on it". The
+// lookahead column is the minimum global-link latency under the default
+// fabric configuration: the conservative horizon the sharded engine
+// (WithShards) advances per window, and 0 for rungs that cannot shard. The
+// conforming column is the share of executed events eligible for parallel
+// execution under WithRoutingVariant(ShardableUGAL), measured by a small
+// probe alltoall on the rung; the remainder (rank wakeups, window-boundary
+// syncs, delivery completions) stays serial even in the shardable variant.
 func printLadder() error {
 	table := trace.NewTable("Geometry ladder",
-		"rung", "groups", "routers", "nodes", "directed links", "adjacency (CSR) KiB", "lookahead (cycles)")
+		"rung", "groups", "routers", "nodes", "directed links", "adjacency (CSR) KiB",
+		"lookahead (cycles)", "conforming events %")
 	for _, rung := range dragonfly.GeometryLadder() {
 		t, err := topo.New(rung.Geometry)
 		if err != nil {
 			return err
 		}
+		frac, err := conformingFraction(rung.Geometry)
+		if err != nil {
+			return err
+		}
 		table.AddRow(rung.Name, rung.Geometry.Groups, t.NumRouters(), t.NumNodes(),
 			t.NumLinks(), fmt.Sprintf("%.1f", float64(t.AdjacencyBytes())/1024),
-			int64(network.LookaheadCycles(network.DefaultConfig(), t)))
+			int64(network.LookaheadCycles(network.DefaultConfig(), t)),
+			fmt.Sprintf("%.1f", frac*100))
 	}
 	return table.Render(os.Stdout)
+}
+
+// conformingFraction probes one rung with a 16-node alltoall under the
+// shardable variant and reports ConformingExecuted / ExecutedEvents: the
+// share of the rung's event stream that horizon-window workers may execute
+// concurrently.
+func conformingFraction(g dragonfly.Geometry) (float64, error) {
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(g),
+		dragonfly.WithSeed(1),
+		dragonfly.WithRoutingVariant(dragonfly.ShardableUGAL),
+	)
+	if err != nil {
+		return 0, err
+	}
+	job, err := sys.Allocate(dragonfly.GroupStriped, 16)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := job.Run(&workloads.Alltoall{MessageBytes: 1 << 10, Iterations: 1},
+		dragonfly.RunOptions{Iterations: 1}); err != nil {
+		return 0, err
+	}
+	total := sys.Engine().ExecutedEvents()
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(sys.Sharded().ConformingExecuted()) / float64(total), nil
 }

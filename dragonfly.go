@@ -119,8 +119,17 @@ func New(opts ...Option) (*System, error) {
 		used:   make(map[topo.NodeID]bool),
 	}
 	lookahead := fab.LookaheadCycles()
-	if n := resolveShards(cfg.shards, t.Config().Groups, int64(lookahead)); n > 1 {
-		sh, err := sim.NewSharded(engine, t.Config().Groups, n, lookahead)
+	groups := t.Config().Groups
+	shardable := cfg.variant == routing.ShardableUGAL
+	if shardable && (groups < 2 || lookahead <= 0) {
+		return nil, fmt.Errorf("dragonfly: ShardableUGAL needs a multi-group geometry (got %d groups); use the default ExactUGAL variant", groups)
+	}
+	// ShardableUGAL always runs on the sharded driver, even when the resolved
+	// shard count is 1: the variant's byte stream is defined by the driver's
+	// window schedule, so pinning it to the driver keeps output identical
+	// across every shard count instead of splitting into a serial dialect.
+	if n := resolveShards(cfg.shards, groups, int64(lookahead)); n > 1 || shardable {
+		sh, err := sim.NewSharded(engine, groups, n, lookahead)
 		if err != nil {
 			return nil, err
 		}
@@ -128,6 +137,15 @@ func New(opts ...Option) (*System, error) {
 			return nil, err
 		}
 		s.sharded = sh
+	}
+	if shardable {
+		sp, err := routing.NewShardedPolicy(t, cfg.routing, groups, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := fab.EnableShardable(sp); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.telemetry != nil {
 		col, err := telemetry.NewCollector(fab, *cfg.telemetry)
@@ -209,6 +227,10 @@ func (s *System) Shards() int {
 	}
 	return s.sharded.Shards()
 }
+
+// RoutingVariant returns the UGAL variant the system was built with
+// (ExactUGAL unless WithRoutingVariant said otherwise).
+func (s *System) RoutingVariant() RoutingVariant { return s.cfg.variant }
 
 // Sharded returns the group-sharded engine driver, or nil for a serial
 // system. It is an escape hatch like Engine and Fabric: harnesses read its

@@ -69,6 +69,41 @@ func FuzzParseShards(f *testing.F) {
 	})
 }
 
+// FuzzParseRoutingVariant fuzzes the UGAL-variant parser: no panics, every
+// accepted input maps to one of the two defined variants, acceptance is
+// stable under the documented normalization (case, surrounding spaces), and
+// the parser round-trips both canonical String() spellings.
+func FuzzParseRoutingVariant(f *testing.F) {
+	for _, seed := range []string{
+		"", "exact", "ugal", "serial", "shardable", "sharded", "parallel",
+		"EXACT", "Shardable", " shardable ", "SHARDED", "Parallel",
+		"exactly", "shard", "fast", "ugal2", "shardable:4", "exact ugal", "∞",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := dragonfly.ParseRoutingVariant(s)
+		if err != nil {
+			if v != dragonfly.ExactUGAL {
+				t.Fatalf("ParseRoutingVariant(%q) errored but returned %v", s, v)
+			}
+			return
+		}
+		if v != dragonfly.ExactUGAL && v != dragonfly.ShardableUGAL {
+			t.Fatalf("ParseRoutingVariant(%q) accepted an undefined variant %d", s, v)
+		}
+		if v2, err := dragonfly.ParseRoutingVariant(strings.ToUpper(" " + s + " ")); err != nil || v2 != v {
+			t.Fatalf("ParseRoutingVariant(%q) is not normalization-stable: %v / %v", s, err, v2)
+		}
+		// The canonical spelling must parse back to the same variant, so
+		// String() output is always a valid -routing-variant value.
+		if v3, err := dragonfly.ParseRoutingVariant(v.String()); err != nil || v3 != v {
+			t.Fatalf("ParseRoutingVariant(%q).String() = %q does not round-trip: %v / %v",
+				s, v.String(), err, v3)
+		}
+	})
+}
+
 // FuzzParseArrival fuzzes the open-arrival spec parser: no panics, every
 // accepted input must come back as a validated spec whose streams can be
 // built, and acceptance must be stable under the documented normalization.

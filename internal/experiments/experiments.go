@@ -70,6 +70,13 @@ type Options struct {
 	// a fixed Seed the tables are byte-identical at every setting, and the
 	// harness divides its worker budget by the shard count.
 	Shards int
+	// Variant selects the UGAL state-partitioning variant for every trial
+	// (dragonfly.WithRoutingVariant). The zero value is the exact serial
+	// model; ShardableUGAL swaps in the relaxed parallel model, which keeps
+	// per-seed determinism but produces a different byte stream — the golden
+	// hashes cover the default variant only. Experiments that sweep the
+	// variant themselves (fidelity) ignore this field.
+	Variant routing.Variant
 	// Progress, if non-nil, receives one callback per finished trial.
 	Progress func(harness.Progress)
 
@@ -211,6 +218,13 @@ func (o Options) runTrials(specs []harness.TrialSpec) ([]harness.Result, error) 
 			}
 		}
 	}
+	if o.Variant != routing.ExactUGAL {
+		for i := range specs {
+			if specs[i].Variant == routing.ExactUGAL {
+				specs[i].Variant = o.Variant
+			}
+		}
+	}
 	ex := &harness.Executor{Parallel: o.Parallel, Seed: o.Seed, OnProgress: o.Progress}
 	return ex.Run(o.context(), specs)
 }
@@ -288,6 +302,7 @@ func Registry() map[string]Runner {
 		"biassweep":   BiasSweep,
 		"fullmachine": FullMachine,
 		"openstream":  OpenStream,
+		"fidelity":    ShardableFidelity,
 	}
 }
 

@@ -23,6 +23,11 @@ var goldenHashes = map[string]string{
 	// real neighbor applications) end to end through the compact-arena
 	// fabric; captured at PR 5 after verifying fig3/noisesweep unchanged.
 	"cotenant": "8af32d8100a5ce369d0933123945100842adaa97748aca26ab323436c3028795",
+	// fidelity pins the ShardableUGAL variant next to ExactUGAL in one table
+	// (PR 8): the hash covers both variants' byte streams and the slowdown
+	// ratios between them, so it fails if either model — or the relaxation
+	// gap between them — drifts.
+	"fidelity": "db2091af96654de8cf652102f2cdd03e7b6970542b8e2fe55b64a39de4271a1a",
 }
 
 func TestGoldenTables(t *testing.T) {

@@ -84,6 +84,11 @@ type TrialSpec struct {
 	// count into its worker budget so trials × shards stays within
 	// GOMAXPROCS.
 	Shards int
+	// Variant selects the UGAL state-partitioning variant for the trial's
+	// system (dragonfly.WithRoutingVariant). The zero value is ExactUGAL;
+	// ShardableUGAL runs the relaxed parallel model, whose output differs
+	// from exact by construction but stays deterministic per seed.
+	Variant routing.Variant
 	// RoutingParams overrides routing.DefaultParams() when non-nil.
 	RoutingParams *routing.Params
 	// Network overrides network.DefaultConfig() when non-nil.

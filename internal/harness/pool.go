@@ -16,6 +16,7 @@ import (
 type envKey struct {
 	geometry   topo.Config
 	shards     int
+	variant    routing.Variant
 	hasRouting bool
 	routing    routing.Params
 	hasNetwork bool
@@ -24,7 +25,7 @@ type envKey struct {
 
 // specKey extracts the construction-affecting fields of a spec.
 func specKey(spec TrialSpec) envKey {
-	k := envKey{geometry: spec.Geometry, shards: spec.Shards}
+	k := envKey{geometry: spec.Geometry, shards: spec.Shards, variant: spec.Variant}
 	if spec.RoutingParams != nil {
 		k.hasRouting, k.routing = true, *spec.RoutingParams
 	}
@@ -68,6 +69,9 @@ func (p *systemPool) acquire(spec TrialSpec, seed int64) (*dragonfly.System, err
 	}
 	if spec.Shards > 0 {
 		opts = append(opts, dragonfly.WithShards(spec.Shards))
+	}
+	if spec.Variant != routing.ExactUGAL {
+		opts = append(opts, dragonfly.WithRoutingVariant(spec.Variant))
 	}
 	if spec.RoutingParams != nil {
 		opts = append(opts, dragonfly.WithRouting(*spec.RoutingParams))

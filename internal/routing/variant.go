@@ -1,0 +1,135 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dragonfly/internal/topo"
+)
+
+// Variant selects how the UGAL implementation partitions its mutable state.
+//
+// The paper's algorithm (ExactUGAL) draws every per-packet random candidate
+// from one shared stream and costs candidates against an instantaneous
+// machine-global congestion view; that coupling makes packet execution
+// order-serial. ShardableUGAL relaxes exactly those two couplings — one
+// deterministic RNG stream per dragonfly group and a per-group replicated
+// congestion view refreshed once per lookahead window — so packet events
+// become conforming-parallel under the sharded engine. The relaxation
+// changes the simulated byte stream (it is a different, equally
+// deterministic model, pinned by its own golden family), not just the
+// wall-clock.
+type Variant uint8
+
+const (
+	// ExactUGAL is the paper's serial-domain algorithm: shared RNG stream,
+	// instantaneous global congestion view, byte-identical to the unsharded
+	// engine at every shard count. The default.
+	ExactUGAL Variant = iota
+	// ShardableUGAL uses per-group RNG streams (seeded from (baseSeed,
+	// group), independent of shard count) and per-group bounded-staleness
+	// congestion replicas, unlocking concurrent packet execution inside
+	// horizon windows.
+	ShardableUGAL
+)
+
+// String returns the canonical spelling accepted by ParseVariant.
+func (v Variant) String() string {
+	switch v {
+	case ExactUGAL:
+		return "exact"
+	case ShardableUGAL:
+		return "shardable"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// ParseVariant converts a -routing-variant flag value to a Variant. The
+// empty string and "exact" select the paper's serial algorithm; "shardable"
+// selects the relaxed parallel one. Matching is case-insensitive and ignores
+// surrounding whitespace.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "exact", "ugal", "serial":
+		return ExactUGAL, nil
+	case "shardable", "sharded", "parallel":
+		return ShardableUGAL, nil
+	default:
+		return ExactUGAL, fmt.Errorf("routing: unknown variant %q (want exact or shardable)", s)
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive independent
+// per-group seeds from (baseSeed, group) without any cross-correlation
+// between neighbouring group indices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// LaneSeed derives the deterministic RNG seed of one group's routing lane
+// from the engine seed. The derivation depends only on (seed, group) — never
+// on shard count or worker identity — which is what makes ShardableUGAL
+// output byte-identical across shard counts.
+func LaneSeed(seed int64, group int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(group)))
+}
+
+// ShardedPolicy is the ShardableUGAL routing state: one independent Policy
+// (candidate-path scratch) and one deterministic RNG stream per dragonfly
+// group. Each lane is only ever driven by the shard that owns its group, so
+// concurrent windows never contend on path buffers or random state.
+type ShardedPolicy struct {
+	params Params
+	seed   int64
+	lanes  []policyLane
+}
+
+type policyLane struct {
+	pol *Policy
+	rng *rand.Rand
+}
+
+// NewShardedPolicy builds one routing lane per group over the topology.
+func NewShardedPolicy(t *topo.Topology, params Params, groups int, seed int64) (*ShardedPolicy, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("routing: NewShardedPolicy needs at least one group, got %d", groups)
+	}
+	sp := &ShardedPolicy{params: params, seed: seed, lanes: make([]policyLane, groups)}
+	for g := range sp.lanes {
+		pol, err := NewPolicy(t, params)
+		if err != nil {
+			return nil, err
+		}
+		sp.lanes[g] = policyLane{pol: pol, rng: rand.New(rand.NewSource(LaneSeed(seed, g)))}
+	}
+	return sp, nil
+}
+
+// Groups returns the number of lanes.
+func (sp *ShardedPolicy) Groups() int { return len(sp.lanes) }
+
+// Params returns the shared policy parameters.
+func (sp *ShardedPolicy) Params() Params { return sp.params }
+
+// Reset reseeds every lane from the new engine seed; lane g replays exactly
+// the stream a freshly built ShardedPolicy(seed) would produce.
+func (sp *ShardedPolicy) Reset(seed int64) {
+	sp.seed = seed
+	for g := range sp.lanes {
+		sp.lanes[g].rng.Seed(LaneSeed(seed, g))
+	}
+}
+
+// Route selects a path for one packet injected by group g, using the group's
+// private policy scratch and RNG stream. The returned Decision aliases lane
+// g's storage and is valid until the next Route on the same lane.
+func (sp *ShardedPolicy) Route(g int, mode Mode, src, dst topo.RouterID, flits int,
+	hash uint64, view CongestionView, now int64) Decision {
+	lane := &sp.lanes[g]
+	return lane.pol.Route(mode, src, dst, flits, hash, view, now, lane.rng)
+}

@@ -59,6 +59,14 @@ type Sharded struct {
 	local    []shardHeap // per shard: conforming-parallel events
 	nlocal   int         // total local events pending across shards
 
+	// deferred holds serial-domain events produced inside parallel windows
+	// (ShardContext.ScheduleSerial): the shardable fabric's delivery
+	// completions. They are keyed like local events — (at, class, dst, src,
+	// per-src-group seq) — so their order never depends on shard count or
+	// window boundaries, and they execute in the serial domain at the first
+	// barrier at or after their timestamp.
+	deferred shardHeap
+
 	// srcSeq is the per-group schedule counter local event keys embed. Each
 	// counter is written only by the shard that owns the group (or by the
 	// single-threaded serial context), so windows never race on it.
@@ -93,16 +101,24 @@ type Sharded struct {
 
 	// windows and parallelWindows count horizon windows executed and how
 	// many of them had two or more shards active (scaling diagnostics).
+	// localExec counts conforming-parallel events executed inside windows —
+	// the numerator of the "conforming event fraction" diagnostics report.
 	windows         uint64
 	parallelWindows uint64
 	crossPosts      uint64
+	localExec       uint64
 }
 
 // event classes, ordered: at equal timestamps serial-domain events execute
 // before conforming-parallel ones (a fixed, shard-count-independent rule).
+// Deferred-serial events (ShardContext.ScheduleSerial) sit between the two:
+// they are serial-domain work produced inside windows — the shardable
+// fabric's delivery completions — that executes at the first barrier at or
+// after its timestamp.
 const (
-	classResident = 0
-	classLocal    = 1
+	classResident   = 0
+	classSerialPost = 1
+	classLocal      = 2
 )
 
 // shardEvent is one event parked in a shard heap or mailbox. Resident events
@@ -213,10 +229,16 @@ func (s *Sharded) Windows() (total, parallel uint64) { return s.windows, s.paral
 // mailboxes.
 func (s *Sharded) CrossPosts() uint64 { return s.crossPosts }
 
+// ConformingExecuted returns how many conforming-parallel events have been
+// executed inside horizon windows. Together with Engine.ExecutedEvents it
+// yields the conforming event fraction — the share of the event stream that
+// is eligible for multicore execution.
+func (s *Sharded) ConformingExecuted() uint64 { return s.localExec }
+
 // pending returns the number of events parked in shard heaps (the engine's
 // own heap is counted by the caller).
 func (s *Sharded) pending() int {
-	n := s.nlocal
+	n := s.nlocal + len(s.deferred.ev)
 	for i := range s.resident {
 		n += len(s.resident[i].ev)
 	}
@@ -237,9 +259,10 @@ func (s *Sharded) reset() {
 	for i := range s.srcSeq {
 		s.srcSeq[i] = 0
 	}
+	s.deferred.ev = s.deferred.ev[:0]
 	s.nlocal = 0
 	s.execShard = -1
-	s.windows, s.parallelWindows, s.crossPosts = 0, 0, 0
+	s.windows, s.parallelWindows, s.crossPosts, s.localExec = 0, 0, 0, 0
 }
 
 // ScheduleResident schedules a serial-domain event owned by group g: it is
@@ -286,11 +309,12 @@ func (s *Sharded) ScheduleLocal(g int32, at Time, h LocalHandler, a, b int64) {
 // executing event's group and simulated time, and the only legal scheduling
 // interface inside a parallel window.
 type ShardContext struct {
-	s     *Sharded
-	shard int32
-	group int32
-	now   Time
-	posts []shardEvent // same-shard pushes deferred until the pop loop ends
+	s      *Sharded
+	shard  int32
+	group  int32
+	now    Time
+	posts  []shardEvent // same-shard pushes deferred until the pop loop ends
+	sposts []shardEvent // deferred-serial posts, settled at the barrier
 }
 
 // Now returns the executing event's simulated time. During a parallel
@@ -340,6 +364,25 @@ func (sc *ShardContext) After(delay Time, h LocalHandler, a, b int64) {
 	sc.Schedule(sc.group, sc.now+max(delay, 0), h, a, b)
 }
 
+// ScheduleSerial schedules a serial-domain event from inside a parallel
+// window. The event is parked at the barrier and executes on the coordinator
+// goroutine at the first barrier at or after at, ordered by the same
+// shard-count-independent key as local events (at, class, group, src, seq) —
+// it can never preempt the window that scheduled it, so an event whose time
+// falls inside the current window executes "late" with the engine clock
+// already advanced, exactly like an engine event scheduled in the past. The
+// shardable fabric uses this for delivery completions, whose callbacks (rank
+// wakeups, observers) need the full serial-domain API.
+func (sc *ShardContext) ScheduleSerial(at Time, h Handler, a, b int64) {
+	s := sc.s
+	if at < sc.now {
+		at = sc.now
+	}
+	ev := shardEvent{at: at, seq: s.srcSeq[sc.group], dst: sc.group, src: sc.group, class: classSerialPost, h: h, a: a, b: b}
+	s.srcSeq[sc.group]++
+	sc.sposts = append(sc.sposts, ev)
+}
+
 // mail appends to the (sc.shard, dst) SPSC mailbox.
 func (sc *ShardContext) mail(dst int32, ev shardEvent) {
 	i := int(sc.shard)*sc.s.shards + int(dst)
@@ -355,10 +398,20 @@ type nextKey struct {
 	ok  bool
 }
 
-// nextSerial returns the earliest serial-domain event across the engine heap
-// and every resident shard heap, and where it lives (-1 = engine heap,
-// otherwise the shard index).
-func (s *Sharded) nextSerial() (key nextKey, shard int) {
+// nextSerial returns the earliest serial-domain event across the engine heap,
+// every resident shard heap and the deferred heap, and where it lives (-1 =
+// engine heap, -2 = deferred heap, otherwise the shard index). At equal
+// timestamps the class-0 stream (engine + resident, globally sequenced) wins
+// over deferred-serial events, matching the class order.
+//
+// clip is the earliest class-0 event alone (engine + resident, without the
+// deferred heap): horizon windows are clipped only at class-0 events.
+// Deferred-serial events execute at the first barrier at or after their
+// timestamp by definition, so a window may legally run past one — that is
+// precisely what keeps windows near the full lookahead when delivery
+// completions are dense in simulated time. Both keys derive from global heap
+// state only, so window boundaries stay shard-count independent.
+func (s *Sharded) nextSerial() (key, clip nextKey, shard int) {
 	e := s.engine
 	shard = -1
 	if len(e.heap) > 0 {
@@ -376,7 +429,15 @@ func (s *Sharded) nextSerial() (key nextKey, shard int) {
 			shard = i
 		}
 	}
-	return key, shard
+	clip = key
+	if len(s.deferred.ev) > 0 {
+		head := &s.deferred.ev[0]
+		if !key.ok || head.at < key.at {
+			key = nextKey{at: head.at, seq: head.seq, ok: true}
+			shard = -2
+		}
+	}
+	return key, clip, shard
 }
 
 // nextLocal returns the earliest conforming-parallel event across the local
@@ -429,7 +490,7 @@ const maxTime = Time(1)<<62 - 1
 func (s *Sharded) drive(deadline Time) error {
 	e := s.engine
 	for !e.halted {
-		serial, serialShard := s.nextSerial()
+		serial, clip, serialShard := s.nextSerial()
 		localAt, localShard := s.nextLocal()
 		switch {
 		case !serial.ok && localShard < 0:
@@ -437,14 +498,15 @@ func (s *Sharded) drive(deadline Time) error {
 		case localShard >= 0 && (!serial.ok || localAt < serial.at):
 			// A conforming-parallel event is strictly earliest (ties go to
 			// the serial domain). Open a horizon window up to the lookahead
-			// bound, clipped so no serial-domain event or the deadline falls
-			// inside it.
+			// bound, clipped so no class-0 serial event or the deadline falls
+			// inside it (deferred-serial events wait for the barrier instead
+			// of clipping — see nextSerial).
 			if localAt > deadline {
 				return nil
 			}
 			windowEnd := localAt + s.lookahead
-			if serial.ok && serial.at < windowEnd {
-				windowEnd = serial.at
+			if clip.ok && clip.at < windowEnd {
+				windowEnd = clip.at
 			}
 			if deadline < maxTime && deadline+1 < windowEnd {
 				windowEnd = deadline + 1
@@ -464,19 +526,27 @@ func (s *Sharded) drive(deadline Time) error {
 	return nil
 }
 
-// step executes exactly one event — the canonical-minimum across every heap —
-// on the calling goroutine. It is Engine.Step's sharded body: the
-// cooperative MPI scheduler interleaves rank turns with single events, so
-// this path stays serial while remaining byte-identical to the windowed one
-// (local keys are batching-independent).
+// step advances the sharded loop by one unit of work: one serial-domain
+// event, or — when a conforming-parallel event is strictly earliest — one
+// full horizon window. It is Engine.Step's sharded body: the cooperative MPI
+// scheduler interleaves rank turns with engine progress, and because ranks
+// only become runnable from serial-domain callbacks, batching a window of
+// conforming events into one Step keeps the scheduler contract while letting
+// the window workers run concurrently. The window boundaries are computed
+// from global heap state exactly as under Run, so a Step-driven run is
+// byte-identical to a Run-driven one.
 func (s *Sharded) step() (bool, error) {
-	serial, serialShard := s.nextSerial()
+	serial, clip, serialShard := s.nextSerial()
 	localAt, localShard := s.nextLocal()
 	switch {
 	case !serial.ok && localShard < 0:
 		return false, nil
 	case localShard >= 0 && (!serial.ok || localAt < serial.at):
-		if err := s.dispatchLocalSerial(localShard); err != nil {
+		windowEnd := localAt + s.lookahead
+		if clip.ok && clip.at < windowEnd {
+			windowEnd = clip.at
+		}
+		if err := s.runWindow(windowEnd); err != nil {
 			return false, err
 		}
 	default:
@@ -488,11 +558,24 @@ func (s *Sharded) step() (bool, error) {
 }
 
 // dispatchSerial executes the earliest serial-domain event: the engine-heap
-// head (shard == -1) or a resident shard-heap head.
+// head (shard == -1), a deferred-serial event (shard == -2) or a resident
+// shard-heap head.
 func (s *Sharded) dispatchSerial(shard int) error {
 	e := s.engine
-	if shard < 0 {
+	if shard == -1 {
 		return e.dispatch()
+	}
+	if shard == -2 {
+		ev := s.deferred.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.nexec++
+		if e.limit > 0 && e.nexec > e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%d", e.limit, e.now)
+		}
+		ev.h.HandleEvent(e, ev.a, ev.b)
+		return nil
 	}
 	ev := s.resident[shard].pop()
 	if ev.at > e.now {
@@ -521,34 +604,9 @@ func (s *Sharded) dispatchSerial(shard int) error {
 	return nil
 }
 
-// dispatchLocalSerial executes one conforming-parallel event inline (Step
-// path): same handler contract as a window of size one.
-func (s *Sharded) dispatchLocalSerial(shard int) error {
-	e := s.engine
-	ev := s.local[shard].pop()
-	s.nlocal--
-	if ev.at > e.now {
-		e.now = ev.at
-	}
-	e.nexec++
-	if e.limit > 0 && e.nexec > e.limit {
-		return fmt.Errorf("sim: event limit %d exceeded at t=%d", e.limit, e.now)
-	}
-	sc := &s.ctx[shard]
-	sc.group, sc.now = ev.dst, ev.at
-	// The window guard is up even on this serial path, so a LocalHandler
-	// that reaches for the serial-domain APIs fails identically whether the
-	// run is Step-driven or windowed.
-	s.windowActive.Store(true)
-	ev.lh.HandleLocalEvent(sc, ev.a, ev.b)
-	s.windowActive.Store(false)
-	s.settleContext(sc)
-	return nil
-}
-
-// settleContext moves a context's deferred same-shard posts and every
-// populated mailbox row of its shard into the destination heaps. Serial-only
-// (Step path or window barrier).
+// settleContext moves a context's deferred same-shard posts, its
+// deferred-serial posts and every populated mailbox row of its shard into
+// the destination heaps. Serial-only (window barrier).
 func (s *Sharded) settleContext(sc *ShardContext) {
 	for i := range sc.posts {
 		ev := sc.posts[i]
@@ -556,6 +614,10 @@ func (s *Sharded) settleContext(sc *ShardContext) {
 		s.nlocal++
 	}
 	sc.posts = sc.posts[:0]
+	for i := range sc.sposts {
+		s.deferred.push(sc.sposts[i])
+	}
+	sc.sposts = sc.sposts[:0]
 	base := int(sc.shard) * s.shards
 	for dst := 0; dst < s.shards; dst++ {
 		box := s.mailboxes[base+dst]
@@ -637,6 +699,7 @@ func (s *Sharded) closeWindow(e *Engine) error {
 			continue
 		}
 		e.nexec += n
+		s.localExec += n
 		if at := s.workerMaxAt[i]; at > e.now {
 			e.now = at
 		}
@@ -690,9 +753,10 @@ type shardHeap struct {
 }
 
 // eventLess orders events by the canonical key: (at, class, seq) for the
-// serial domain, (at, class, dst, src, seq) for local events. The key never
-// depends on shard count or window boundaries, which is what makes every
-// drive mode and every Shards=N byte-identical.
+// resident serial domain, (at, class, dst, src, seq) for local and
+// deferred-serial events. The key never depends on shard count or window
+// boundaries, which is what makes every drive mode and every Shards=N
+// byte-identical.
 func eventLess(a, b *shardEvent) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -700,7 +764,7 @@ func eventLess(a, b *shardEvent) bool {
 	if a.class != b.class {
 		return a.class < b.class
 	}
-	if a.class == classLocal {
+	if a.class != classResident {
 		if a.dst != b.dst {
 			return a.dst < b.dst
 		}

@@ -108,6 +108,7 @@ type config struct {
 	network   NetworkConfig
 	seed      int64
 	shards    int
+	variant   RoutingVariant
 	noise     *NoiseConfig
 	telemetry *TelemetryConfig
 }
@@ -190,6 +191,36 @@ func WithShards(n int) Option {
 		}
 		c.shards = n
 		return nil
+	}
+}
+
+// WithRoutingVariant selects the UGAL state-partitioning variant.
+//
+// The default ExactUGAL is the paper's algorithm: every packet draws its
+// candidate paths from one shared random stream and costs them against an
+// instantaneous machine-global congestion view, so packet execution is
+// order-serial (sharded systems keep it in the serial domain and stay
+// byte-identical to the serial engine).
+//
+// ShardableUGAL relaxes exactly those two couplings — one deterministic RNG
+// stream per dragonfly group, and per-group congestion replicas refreshed
+// once per lookahead window (staleness bounded by the minimum global-link
+// latency) — which moves packet execution into the conforming-parallel
+// class of the sharded engine. Its output is deterministic and
+// byte-identical across shard counts and drive modes, but differs from
+// ExactUGAL by construction: it is a different, equally pinned model, not
+// an approximation knob. ShardableUGAL always runs on the sharded driver
+// (even when the resolved shard count is 1, so shard count never changes
+// the byte stream) and therefore requires a multi-group geometry.
+func WithRoutingVariant(v RoutingVariant) Option {
+	return func(c *config) error {
+		switch v {
+		case ExactUGAL, ShardableUGAL:
+			c.variant = v
+			return nil
+		default:
+			return fmt.Errorf("dragonfly: unknown routing variant %v", v)
+		}
 	}
 }
 

@@ -84,3 +84,31 @@ if [ "$oallocs" -gt "$olimit" ]; then
     exit 1
 fi
 echo "bench_smoke: OK — openstream allocs/op $oallocs within budget $obudget (+10% = $olimit)"
+
+# Fourth gate: the shardable-UGAL packet path. The variant=shardable rows of
+# BenchmarkDaintSharded execute ~96% of events as conforming-parallel work
+# inside horizon windows; the budget enforces the variant's design contract
+# that per-group RNG lanes and congestion replicas are allocated once at
+# build/Reset — allocations must stay O(system), never O(windows) (the run
+# executes >1000 windows, so a per-window replica would blow the +10% margin
+# a hundred times over).
+vbudget=$(awk '$1 == "shardable_allocs_per_op" {print $2}' BENCH_budget.txt)
+if [ -z "$vbudget" ]; then
+    echo "bench_smoke: no shardable_allocs_per_op entry in BENCH_budget.txt" >&2
+    exit 2
+fi
+
+out=$(go test -run '^$' -bench '^BenchmarkDaintSharded/variant=shardable/shards=4$' -benchmem -benchtime 1x -timeout 30m .)
+echo "$out"
+vallocs=$(echo "$out" | awk '/^BenchmarkDaintSharded/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$vallocs" ]; then
+    echo "bench_smoke: could not find allocs/op in shardable benchmark output" >&2
+    exit 2
+fi
+
+vlimit=$((vbudget + vbudget / 10))
+if [ "$vallocs" -gt "$vlimit" ]; then
+    echo "bench_smoke: FAIL — shardable allocs/op $vallocs exceeds budget $vbudget (+10% = $vlimit)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — shardable allocs/op $vallocs within budget $vbudget (+10% = $vlimit)"

@@ -1,0 +1,274 @@
+package dragonfly_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"dragonfly"
+	"dragonfly/internal/testutil"
+	"dragonfly/internal/workloads"
+)
+
+// Golden hashes of the ShardableUGAL variant — its own family, separate from
+// every ExactUGAL golden: the variant's byte stream differs from the paper's
+// serial algorithm by construction (per-group RNG streams, bounded-staleness
+// congestion replicas) but is itself pinned: byte-identical across shard
+// counts {1, 2, 4, 8} and across the Job.Run and RunConcurrent drive modes.
+// Captured at PR 8 alongside the unchanged ExactUGAL goldens.
+const (
+	goldenShardableSmallRun        = "3f94cf41756d7e1e594a134da406671c8ec2232f9bf49dbae5aea8dc5c918ebe"
+	goldenShardableMediumRun       = "64ff6cb1f226889340911ad897ab0171a6707444dc8c730e2af74d5021278710"
+	goldenShardableSmallConcurrent = "927f9e056b9d4b26c7e1d4909497097b271b3ce175bfda31de9bc4f31befb809"
+)
+
+// shardableSystem builds a ShardableUGAL system on the given geometry with
+// the requested intra-run shard count.
+func shardableSystem(t *testing.T, g dragonfly.Geometry, seed int64, shards int) *dragonfly.System {
+	t.Helper()
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(g),
+		dragonfly.WithSeed(seed),
+		dragonfly.WithShards(shards),
+		dragonfly.WithRoutingVariant(dragonfly.ShardableUGAL),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestShardableByteIdenticalAcrossShards is the variant's determinism bar:
+// on each rung the rendered Result of the same job is byte-identical at
+// every shard count, pinned by the variant's own golden SHA256.
+func TestShardableByteIdenticalAcrossShards(t *testing.T) {
+	for _, tc := range []struct {
+		rung   string
+		geom   dragonfly.Geometry
+		golden string
+	}{
+		{"small", dragonfly.Small, goldenShardableSmallRun},
+		{"medium", dragonfly.Medium, goldenShardableMediumRun},
+	} {
+		tc := tc
+		t.Run(tc.rung, func(t *testing.T) {
+			want := runLadderJob(t, shardableSystem(t, tc.geom, 7, 1))
+			if got := sha(want); got != tc.golden {
+				t.Errorf("shards=1 drifted from the shardable golden hash on %s:\n got %s\nwant %s",
+					tc.rung, got, tc.golden)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				sys := shardableSystem(t, tc.geom, 7, shards)
+				if got := runLadderJob(t, sys); got != want {
+					t.Fatalf("shards=%d (effective %d) diverges on %s:\n got: %s\nwant: %s",
+						shards, sys.Shards(), tc.rung, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardableRunConcurrentByteIdentical covers the second drive mode: the
+// MPI scheduler's stepUntil path (Step-driven windows) must produce the same
+// byte stream as Job.Run-driven windows at every shard count.
+func TestShardableRunConcurrentByteIdentical(t *testing.T) {
+	run := func(shards int) string {
+		sys := shardableSystem(t, dragonfly.Small, 11, shards)
+		victim, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		neighbor, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.RunConcurrent([]dragonfly.JobRun{
+			{
+				Job:      victim,
+				Workload: &workloads.Alltoall{MessageBytes: 2 << 10, Iterations: 1},
+				Options:  dragonfly.RunOptions{Iterations: 2},
+			},
+			{
+				Job:      neighbor,
+				Workload: workloads.NewHalo3D(16, 256, 2),
+				Options: dragonfly.RunOptions{
+					Routing:    dragonfly.StaticRouting(dragonfly.AdaptiveHighBias),
+					Iterations: 2,
+				},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderResults(results)
+	}
+	want := run(1)
+	if got := sha(want); got != goldenShardableSmallConcurrent {
+		t.Errorf("shards=1 RunConcurrent drifted from the shardable golden hash:\n got %s\nwant %s",
+			got, goldenShardableSmallConcurrent)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(shards); got != want {
+			t.Fatalf("RunConcurrent shards=%d diverges:\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}
+
+// TestShardableDiffersFromExact sanity-checks that the variant is a real
+// model change: per-group RNG streams and replicated congestion views must
+// not happen to reproduce the exact serial byte stream.
+func TestShardableDiffersFromExact(t *testing.T) {
+	exact := runLadderJob(t, shardedSystem(t, dragonfly.Small, 7, 1))
+	shardable := runLadderJob(t, shardableSystem(t, dragonfly.Small, 7, 1))
+	if exact == shardable {
+		t.Fatal("ShardableUGAL reproduced the ExactUGAL byte stream; the variants should differ by construction")
+	}
+}
+
+// TestShardableResetMatchesFresh pins the harness pooling contract for the
+// variant: Reset reruns byte-identically, keeping the lane RNG streams and
+// congestion replicas in their freshly-built state.
+func TestShardableResetMatchesFresh(t *testing.T) {
+	sys := shardableSystem(t, dragonfly.Small, 9, 2)
+	want := runLadderJob(t, sys)
+	if err := sys.Reset(9); err != nil {
+		t.Fatal(err)
+	}
+	if got := runLadderJob(t, sys); got != want {
+		t.Fatalf("shardable rerun after Reset diverges:\n got: %s\nwant: %s", got, want)
+	}
+	// Reset to a different seed must also match a fresh system at that seed.
+	if err := sys.Reset(10); err != nil {
+		t.Fatal(err)
+	}
+	reseeded := runLadderJob(t, sys)
+	fresh := runLadderJob(t, shardableSystem(t, dragonfly.Small, 10, 2))
+	if reseeded != fresh {
+		t.Fatalf("shardable Reset(10) diverges from a fresh seed-10 system:\n got: %s\nwant: %s",
+			reseeded, fresh)
+	}
+}
+
+// TestShardableDriverResolution pins the variant's driver contract: the
+// sharded driver is always attached (even at an effective shard count of 1,
+// so shard count never changes the byte stream), exact-variant systems keep
+// the old resolution ladder, and single-group geometries are rejected
+// loudly instead of silently degrading to a serial dialect.
+func TestShardableDriverResolution(t *testing.T) {
+	sys := shardableSystem(t, dragonfly.Small, 1, 1)
+	if sys.Sharded() == nil {
+		t.Fatal("ShardableUGAL system has no sharded driver at WithShards(1)")
+	}
+	if got := sys.Shards(); got != 1 {
+		t.Fatalf("WithShards(1) → Shards() = %d, want 1", got)
+	}
+	if got := sys.RoutingVariant(); got != dragonfly.ShardableUGAL {
+		t.Fatalf("RoutingVariant() = %v, want ShardableUGAL", got)
+	}
+	if got := dragonfly.MustNew().RoutingVariant(); got != dragonfly.ExactUGAL {
+		t.Fatalf("default RoutingVariant() = %v, want ExactUGAL", got)
+	}
+	if _, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.SmallGeometry(1)),
+		dragonfly.WithRoutingVariant(dragonfly.ShardableUGAL),
+	); err == nil {
+		t.Fatal("ShardableUGAL accepted a single-group geometry")
+	}
+}
+
+// TestParseRoutingVariant pins the CLI grammar of the -routing-variant flag.
+func TestParseRoutingVariant(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want dragonfly.RoutingVariant
+		ok   bool
+	}{
+		{"", dragonfly.ExactUGAL, true},
+		{"exact", dragonfly.ExactUGAL, true},
+		{" Exact ", dragonfly.ExactUGAL, true},
+		{"ugal", dragonfly.ExactUGAL, true},
+		{"serial", dragonfly.ExactUGAL, true},
+		{"shardable", dragonfly.ShardableUGAL, true},
+		{"SHARDABLE", dragonfly.ShardableUGAL, true},
+		{"sharded", dragonfly.ShardableUGAL, true},
+		{"parallel", dragonfly.ShardableUGAL, true},
+		{"fast", dragonfly.ExactUGAL, false},
+		{"exactly", dragonfly.ExactUGAL, false},
+	} {
+		got, err := dragonfly.ParseRoutingVariant(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseRoutingVariant(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if exact, shardable := dragonfly.ExactUGAL.String(), dragonfly.ShardableUGAL.String(); exact != "exact" || shardable != "shardable" {
+		t.Errorf("variant String() = %q, %q; want exact, shardable", exact, shardable)
+	}
+}
+
+// TestShardableJobRunCancelNoGoroutineLeak extends the goroutine-leak
+// contract to the variant: a Job.Run cancelled mid-run with conforming
+// packet events in flight releases every rank goroutine and window worker.
+func TestShardableJobRunCancelNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sys := shardableSystem(t, dragonfly.Small, 23, 4)
+	job, err := sys.Allocate(dragonfly.GroupStriped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = job.Run(&workloads.Alltoall{MessageBytes: 4 << 10, Iterations: 1},
+		dragonfly.RunOptions{
+			Iterations: 50,
+			Context:    ctx,
+			HostNoise: func(rank int) int64 {
+				cancel()
+				return 0
+			},
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled shardable Job.Run returned %v, want context.Canceled", err)
+	}
+	testutil.WaitGoroutines(t, base)
+}
+
+// TestShardableRunConcurrentCancelNoGoroutineLeak covers the multi-job
+// scheduler path with the shardable variant active, cancelled mid-run.
+func TestShardableRunConcurrentCancelNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sys := shardableSystem(t, dragonfly.Small, 24, 2)
+	victim, err := sys.Allocate(dragonfly.GroupStriped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor, err := sys.Allocate(dragonfly.GroupStriped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runs := []dragonfly.JobRun{
+		{
+			Job:      victim,
+			Workload: &workloads.Alltoall{MessageBytes: 4 << 10, Iterations: 1},
+			Options: dragonfly.RunOptions{
+				Iterations: 50,
+				Context:    ctx,
+				HostNoise: func(rank int) int64 {
+					cancel()
+					return 0
+				},
+			},
+		},
+		{
+			Job:      neighbor,
+			Workload: workloads.NewHalo3D(8, 128, 2),
+			Options:  dragonfly.RunOptions{Iterations: 2},
+		},
+	}
+	if _, err := sys.RunConcurrent(runs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancellation returned %v, want context.Canceled", err)
+	}
+	testutil.WaitGoroutines(t, base)
+}
