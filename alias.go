@@ -15,6 +15,7 @@ import (
 	"dragonfly/internal/network"
 	"dragonfly/internal/noise"
 	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topo"
@@ -67,6 +68,10 @@ type (
 	TrafficKind = core.TrafficKind
 	// NodeID identifies a node of the topology.
 	NodeID = topo.NodeID
+	// WindowStats summarizes the sharded engine's horizon-window behaviour —
+	// window and batched-window counts, mean shard occupancy, cumulative
+	// barrier wait; read it back with System.Sharded().WindowStats.
+	WindowStats = sim.WindowStats
 	// Digest is the fixed-size streaming statistics digest backing
 	// Result.TimeStats (exact at small sample counts, P² beyond).
 	Digest = stats.Digest
@@ -166,6 +171,14 @@ func ParseMode(s string) (Mode, error) { return routing.ParseMode(s) }
 // RoutingVariant: "" or "exact" select ExactUGAL, "shardable" selects
 // ShardableUGAL. Case-insensitive.
 func ParseRoutingVariant(s string) (RoutingVariant, error) { return routing.ParseVariant(s) }
+
+// ParseRoutingVariantSpec is ParseRoutingVariant with the optional replica-
+// staleness suffix: "shardable:staleness=4" selects ShardableUGAL with the
+// congestion replicas refreshed every 4 lookahead windows. The returned K
+// feeds WithReplicaStaleness (1 when no suffix is given).
+func ParseRoutingVariantSpec(s string) (RoutingVariant, int, error) {
+	return routing.ParseVariantSpec(s)
+}
 
 // ParsePolicy converts an allocation-policy name to a Policy.
 func ParsePolicy(s string) (Policy, error) { return alloc.ParsePolicy(s) }

@@ -12,6 +12,7 @@
 package dragonfly_test
 
 import (
+	"fmt"
 	"runtime"
 	"strconv"
 	"testing"
@@ -348,7 +349,7 @@ func BenchmarkMachineScaleDaint(b *testing.B) {
 // "Shardable UGAL" for the measured scaling tables and the one-CPU caveat
 // that applies to the committed numbers.
 func BenchmarkDaintSharded(b *testing.B) {
-	daintRun := func(b *testing.B, shards int, variant dragonfly.RoutingVariant) (mean float64, sys *dragonfly.System) {
+	daintRun := func(b *testing.B, shards int, variant dragonfly.RoutingVariant, staleness int) (mean float64, sys *dragonfly.System) {
 		opts := []dragonfly.Option{
 			dragonfly.WithGeometry(dragonfly.Daint),
 			dragonfly.WithSeed(1),
@@ -356,6 +357,9 @@ func BenchmarkDaintSharded(b *testing.B) {
 		}
 		if variant != dragonfly.ExactUGAL {
 			opts = append(opts, dragonfly.WithRoutingVariant(variant))
+		}
+		if staleness > 1 {
+			opts = append(opts, dragonfly.WithReplicaStaleness(staleness))
 		}
 		sys, err := dragonfly.New(opts...)
 		if err != nil {
@@ -372,7 +376,7 @@ func BenchmarkDaintSharded(b *testing.B) {
 		}
 		return res.TimeStats.Mean(), sys
 	}
-	exactBaseline, _ := daintRun(b, 1, dragonfly.ExactUGAL)
+	exactBaseline, _ := daintRun(b, 1, dragonfly.ExactUGAL, 1)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
 			var mean float64
@@ -380,7 +384,7 @@ func BenchmarkDaintSharded(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var sys *dragonfly.System
-				mean, sys = daintRun(b, shards, dragonfly.ExactUGAL)
+				mean, sys = daintRun(b, shards, dragonfly.ExactUGAL, 1)
 				if sh := sys.Sharded(); sh != nil {
 					crossPosts = sh.CrossPosts()
 				}
@@ -398,29 +402,40 @@ func BenchmarkDaintSharded(b *testing.B) {
 	// conforming_events_pct metric is the share of the event stream the
 	// horizon-window workers execute — the structural parallelism the variant
 	// unlocks, visible even where core count hides the wall-clock effect.
-	shardableBaseline, _ := daintRun(b, 1, dragonfly.ShardableUGAL)
-	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run("variant=shardable/shards="+strconv.Itoa(shards), func(b *testing.B) {
-			var mean, conforming float64
-			var windows uint64
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				var sys *dragonfly.System
-				mean, sys = daintRun(b, shards, dragonfly.ShardableUGAL)
-				sh := sys.Sharded()
-				windows, _ = sh.Windows()
-				if total := sys.Engine().ExecutedEvents(); total > 0 {
-					conforming = 100 * float64(sh.ConformingExecuted()) / float64(total)
+	for _, staleness := range []int{1, 4} {
+		// Each staleness K is its own deterministic model with its own
+		// shards=1 baseline; K=4 refreshes the congestion replicas every
+		// fourth lookahead window, cutting the serial sync events the windows
+		// column counts.
+		staleness := staleness
+		shardableBaseline, _ := daintRun(b, 1, dragonfly.ShardableUGAL, staleness)
+		prefix := "variant=shardable/"
+		if staleness > 1 {
+			prefix = fmt.Sprintf("variant=shardable/staleness=%d/", staleness)
+		}
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(prefix+"shards="+strconv.Itoa(shards), func(b *testing.B) {
+				var mean, conforming float64
+				var windows uint64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var sys *dragonfly.System
+					mean, sys = daintRun(b, shards, dragonfly.ShardableUGAL, staleness)
+					sh := sys.Sharded()
+					windows, _ = sh.Windows()
+					if total := sys.Engine().ExecutedEvents(); total > 0 {
+						conforming = 100 * float64(sh.ConformingExecuted()) / float64(total)
+					}
 				}
-			}
-			if mean != shardableBaseline {
-				b.Fatalf("variant=shardable shards=%d diverges from its shards=1 run: mean %v vs %v",
-					shards, mean, shardableBaseline)
-			}
-			b.ReportMetric(mean, "daint_alltoall_mean_cycles")
-			b.ReportMetric(conforming, "conforming_events_pct")
-			b.ReportMetric(float64(windows), "windows")
-		})
+				if mean != shardableBaseline {
+					b.Fatalf("variant=shardable staleness=%d shards=%d diverges from its shards=1 run: mean %v vs %v",
+						staleness, shards, mean, shardableBaseline)
+				}
+				b.ReportMetric(mean, "daint_alltoall_mean_cycles")
+				b.ReportMetric(conforming, "conforming_events_pct")
+				b.ReportMetric(float64(windows), "windows")
+			})
+		}
 	}
 }
 

@@ -42,7 +42,8 @@ func run(args []string) error {
 		iterations   = fs.Int("iterations", 3, "workload repetitions")
 		seed         = fs.Int64("seed", 1, "random seed")
 		shardsFlag   = fs.String("shards", "", "intra-run engine shards ('auto', or a count; empty = serial; same output either way)")
-		variantFlag  = fs.String("routing-variant", "", "UGAL variant ('exact' = the paper's serial model, 'shardable' = the relaxed parallel model; changes results)")
+		variantFlag  = fs.String("routing-variant", "", "UGAL variant ('exact' = the paper's serial model, 'shardable' = the relaxed parallel model; optional ':staleness=K' suffix; changes results)")
+		staleFlag    = fs.String("staleness", "", "ShardableUGAL replica-sync decimation K (sync period = K x lookahead; empty = 1)")
 		withNoise    = fs.Bool("noise", false, "add a background interfering job")
 		noiseNodesN  = fs.Int("noise-nodes", 16, "background job size when -noise is set")
 		report       = fs.Int("report", 0, "print a link-utilization report listing the N hottest links")
@@ -89,11 +90,21 @@ func run(args []string) error {
 		sysOpts = append(sysOpts, dragonfly.WithShards(n))
 	}
 	if *variantFlag != "" {
-		v, err := dragonfly.ParseRoutingVariant(*variantFlag)
+		v, k, err := dragonfly.ParseRoutingVariantSpec(*variantFlag)
 		if err != nil {
 			return err
 		}
 		sysOpts = append(sysOpts, dragonfly.WithRoutingVariant(v))
+		if k > 1 {
+			sysOpts = append(sysOpts, dragonfly.WithReplicaStaleness(k))
+		}
+	}
+	if *staleFlag != "" {
+		k, err := dragonfly.ParseStaleness(*staleFlag)
+		if err != nil {
+			return err
+		}
+		sysOpts = append(sysOpts, dragonfly.WithReplicaStaleness(k))
 	}
 	sys, err := dragonfly.New(sysOpts...)
 	if err != nil {

@@ -124,6 +124,9 @@ func New(opts ...Option) (*System, error) {
 	if shardable && (groups < 2 || lookahead <= 0) {
 		return nil, fmt.Errorf("dragonfly: ShardableUGAL needs a multi-group geometry (got %d groups); use the default ExactUGAL variant", groups)
 	}
+	if cfg.staleness > 1 && !shardable {
+		return nil, fmt.Errorf("dragonfly: WithReplicaStaleness(%d) requires WithRoutingVariant(ShardableUGAL); ExactUGAL has no congestion replicas", cfg.staleness)
+	}
 	// ShardableUGAL always runs on the sharded driver, even when the resolved
 	// shard count is 1: the variant's byte stream is defined by the driver's
 	// window schedule, so pinning it to the driver keeps output identical
@@ -143,7 +146,7 @@ func New(opts ...Option) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := fab.EnableShardable(sp); err != nil {
+		if err := fab.EnableShardable(sp, cfg.staleness); err != nil {
 			return nil, err
 		}
 	}
@@ -231,6 +234,16 @@ func (s *System) Shards() int {
 // RoutingVariant returns the UGAL variant the system was built with
 // (ExactUGAL unless WithRoutingVariant said otherwise).
 func (s *System) RoutingVariant() RoutingVariant { return s.cfg.variant }
+
+// ReplicaStaleness returns the ShardableUGAL replica-sync decimation factor
+// K the system was built with (WithReplicaStaleness; 1 unless overridden,
+// and always 1 under ExactUGAL).
+func (s *System) ReplicaStaleness() int {
+	if s.cfg.staleness < 1 {
+		return 1
+	}
+	return s.cfg.staleness
+}
 
 // Sharded returns the group-sharded engine driver, or nil for a serial
 // system. It is an escape hatch like Engine and Fabric: harnesses read its

@@ -1,6 +1,7 @@
 package dragonfly_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -100,6 +101,47 @@ func FuzzParseRoutingVariant(f *testing.F) {
 		if v3, err := dragonfly.ParseRoutingVariant(v.String()); err != nil || v3 != v {
 			t.Fatalf("ParseRoutingVariant(%q).String() = %q does not round-trip: %v / %v",
 				s, v.String(), err, v3)
+		}
+	})
+}
+
+// FuzzParseStaleness fuzzes the replica-staleness parser: no panics, every
+// accepted input is a usable WithReplicaStaleness argument in [1, 4096],
+// acceptance is stable under the documented normalization, and every accepted
+// K round-trips through the routing-variant suffix grammar
+// ("shardable:staleness=K").
+func FuzzParseStaleness(f *testing.F) {
+	for _, seed := range []string{
+		"", "1", "2", "4", "16", "4096", "staleness=2", "STALENESS=4",
+		" staleness=8 ", "0", "-1", "4097", "3.5", "two", "k=4", "0x10",
+		"staleness=", "staleness=0", "staleness=staleness=2", "+2", " 2 ",
+		"99999999999999999999", "∞",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := dragonfly.ParseStaleness(s)
+		if err != nil {
+			if k != 0 {
+				t.Fatalf("ParseStaleness(%q) errored but returned %d", s, k)
+			}
+			return
+		}
+		if k < 1 || k > 4096 {
+			t.Fatalf("ParseStaleness(%q) accepted an out-of-range factor %d", s, k)
+		}
+		if opt := dragonfly.WithReplicaStaleness(k); opt == nil {
+			t.Fatalf("ParseStaleness(%q) = %d does not build a WithReplicaStaleness option", s, k)
+		}
+		if k2, err := dragonfly.ParseStaleness(strings.ToUpper(" " + s + " ")); err != nil || k2 != k {
+			t.Fatalf("ParseStaleness(%q) is not normalization-stable: %v / %d", s, err, k2)
+		}
+		// Every accepted K must round-trip through the -routing-variant
+		// suffix spelling, so the two grammars can never drift apart.
+		v, k3, err := dragonfly.ParseRoutingVariantSpec(fmt.Sprintf("shardable:staleness=%d", k))
+		if err != nil || v != dragonfly.ShardableUGAL || k3 != k {
+			t.Fatalf("ParseStaleness(%q) = %d does not round-trip the variant suffix: %v, %v, %d",
+				s, k, v, err, k3)
 		}
 	})
 }

@@ -77,6 +77,12 @@ type Options struct {
 	// hashes cover the default variant only. Experiments that sweep the
 	// variant themselves (fidelity) ignore this field.
 	Variant routing.Variant
+	// Staleness is the per-trial ShardableUGAL replica-sync decimation factor
+	// K (dragonfly.WithReplicaStaleness): 0 and 1 keep the per-lookahead
+	// replica refresh, larger K refreshes the congestion replicas every K
+	// lookahead windows. Only meaningful with Variant == ShardableUGAL.
+	// Experiments that sweep the staleness themselves (fidelity) ignore it.
+	Staleness int
 	// Progress, if non-nil, receives one callback per finished trial.
 	Progress func(harness.Progress)
 
@@ -222,6 +228,13 @@ func (o Options) runTrials(specs []harness.TrialSpec) ([]harness.Result, error) 
 		for i := range specs {
 			if specs[i].Variant == routing.ExactUGAL {
 				specs[i].Variant = o.Variant
+			}
+		}
+	}
+	if o.Staleness > 1 {
+		for i := range specs {
+			if specs[i].Staleness == 0 {
+				specs[i].Staleness = o.Staleness
 			}
 		}
 	}

@@ -12,12 +12,13 @@ import (
 	"dragonfly/internal/workloads"
 )
 
-// fidelityKey identifies one (rung, variant, scenario) cell of the fidelity
-// sweep; it is the trial Meta and the aggregation map key.
+// fidelityKey identifies one (rung, variant, staleness, scenario) cell of the
+// fidelity sweep; it is the trial Meta and the aggregation map key.
 type fidelityKey struct {
-	Rung     string
-	Variant  string
-	Scenario string
+	Rung      string
+	Variant   string
+	Staleness int
+	Scenario  string
 }
 
 // fidelitySetups are the two static routing modes the fidelity sweep compares
@@ -33,14 +34,17 @@ func fidelitySetups() []RoutingSetup {
 // (per-group RNG streams, bounded-staleness congestion replicas) reproduces
 // the paper-relevant observable of the exact serial model: the victim's
 // interference slowdown. Absolute cycle counts are NOT expected to match —
-// stale remote replicas under-observe congestion within the one-lookahead
+// stale remote replicas under-observe congestion within the K-lookahead
 // staleness bound, so shardable runs report fewer stall cycles and shorter
 // absolute times by construction. What must survive the relaxation is the
 // ratio structure: how much a noisy neighborhood slows the victim down, and
 // how the routing modes rank. Each rung of the geometry ladder is measured
-// quiet and noisy under both variants and both static routing modes, and the
+// quiet and noisy under the exact model and under the shardable model at
+// replica-sync decimation K ∈ {1, 2, 4} (WithReplicaStaleness), and the
 // table reports the slowdown factors side by side with their ratio
-// (shardable slowdown / exact slowdown; 1.0 = perfect fidelity).
+// (shardable slowdown / exact slowdown; 1.0 = perfect fidelity), one row per
+// (rung, routing mode, K). Growing K widens the staleness bound, so the K=4
+// rows bound how fast fidelity decays as sync events are decimated away.
 func ShardableFidelity(opts Options) ([]*trace.Table, error) {
 	opts = opts.normalize()
 	// The sweep pins its own variants per trial; a global -routing-variant
@@ -57,7 +61,16 @@ func ShardableFidelity(opts Options) ([]*trace.Table, error) {
 	if opts.Quick {
 		rungs = rungs[:1]
 	}
-	variants := []routing.Variant{routing.ExactUGAL, routing.ShardableUGAL}
+	// One exact baseline plus the shardable model at each decimation factor.
+	configs := []struct {
+		variant   routing.Variant
+		staleness int
+	}{
+		{routing.ExactUGAL, 1},
+		{routing.ShardableUGAL, 1},
+		{routing.ShardableUGAL, 2},
+		{routing.ShardableUGAL, 4},
+	}
 	scenarios := []string{"quiet", "noisy"}
 	iters := opts.iters()
 	if iters > 10 {
@@ -71,14 +84,17 @@ func ShardableFidelity(opts Options) ([]*trace.Table, error) {
 		if rung.name == "small" && jobNodes > 16 {
 			jobNodes = 16
 		}
-		for _, variant := range variants {
+		for _, cfg := range configs {
 			for _, scenario := range scenarios {
-				key := fidelityKey{Rung: rung.name, Variant: variant.String(), Scenario: scenario}
+				key := fidelityKey{Rung: rung.name, Variant: cfg.variant.String(),
+					Staleness: cfg.staleness, Scenario: scenario}
 				spec := harness.TrialSpec{
-					ID:         fmt.Sprintf("fidelity/%s/%s/%s", key.Rung, key.Variant, key.Scenario),
+					ID: fmt.Sprintf("fidelity/%s/%s/k%d/%s",
+						key.Rung, key.Variant, key.Staleness, key.Scenario),
 					Meta:       key,
 					Geometry:   rung.geom,
-					Variant:    variant,
+					Variant:    cfg.variant,
+					Staleness:  cfg.staleness,
 					Placement:  dragonfly.GroupStriped,
 					JobNodes:   jobNodes,
 					Setups:     fidelitySetups,
@@ -115,11 +131,11 @@ func ShardableFidelity(opts Options) ([]*trace.Table, error) {
 
 	table := trace.NewTable(
 		fmt.Sprintf("Fidelity: victim slowdown under ExactUGAL vs ShardableUGAL, alltoall %d B", size),
-		"rung", "routing", "exact quiet (cycles)", "exact slowdown",
+		"rung", "routing", "staleness K", "exact quiet (cycles)", "exact slowdown",
 		"shardable quiet (cycles)", "shardable slowdown", "slowdown ratio", "deviation %")
-	slowdown := func(rung, variant, setup string) (quiet, factor float64) {
-		q := medians[fidelityKey{rung, variant, "quiet"}][setup]
-		n := medians[fidelityKey{rung, variant, "noisy"}][setup]
+	slowdown := func(rung, variant string, staleness int, setup string) (quiet, factor float64) {
+		q := medians[fidelityKey{rung, variant, staleness, "quiet"}][setup]
+		n := medians[fidelityKey{rung, variant, staleness, "noisy"}][setup]
 		if q > 0 {
 			return q, n / q
 		}
@@ -127,14 +143,20 @@ func ShardableFidelity(opts Options) ([]*trace.Table, error) {
 	}
 	for _, rung := range rungs {
 		for _, setup := range namesOf(fidelitySetups()) {
-			exactQuiet, exactSlow := slowdown(rung.name, routing.ExactUGAL.String(), setup)
-			shardQuiet, shardSlow := slowdown(rung.name, routing.ShardableUGAL.String(), setup)
-			ratio := 0.0
-			if exactSlow > 0 {
-				ratio = shardSlow / exactSlow
+			exactQuiet, exactSlow := slowdown(rung.name, routing.ExactUGAL.String(), 1, setup)
+			for _, cfg := range configs {
+				if cfg.variant != routing.ShardableUGAL {
+					continue
+				}
+				shardQuiet, shardSlow := slowdown(
+					rung.name, routing.ShardableUGAL.String(), cfg.staleness, setup)
+				ratio := 0.0
+				if exactSlow > 0 {
+					ratio = shardSlow / exactSlow
+				}
+				table.AddRow(rung.name, setup, cfg.staleness, exactQuiet, exactSlow,
+					shardQuiet, shardSlow, ratio, (ratio-1)*100)
 			}
-			table.AddRow(rung.name, setup, exactQuiet, exactSlow,
-				shardQuiet, shardSlow, ratio, (ratio-1)*100)
 		}
 	}
 	return []*trace.Table{table}, nil

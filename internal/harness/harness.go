@@ -89,6 +89,11 @@ type TrialSpec struct {
 	// ShardableUGAL runs the relaxed parallel model, whose output differs
 	// from exact by construction but stays deterministic per seed.
 	Variant routing.Variant
+	// Staleness is the ShardableUGAL replica-sync decimation factor K
+	// (dragonfly.WithReplicaStaleness). Zero and one both select the default
+	// per-lookahead refresh; values above one require Variant ==
+	// ShardableUGAL and are their own deterministic models, pinned per K.
+	Staleness int
 	// RoutingParams overrides routing.DefaultParams() when non-nil.
 	RoutingParams *routing.Params
 	// Network overrides network.DefaultConfig() when non-nil.

@@ -17,6 +17,7 @@ type envKey struct {
 	geometry   topo.Config
 	shards     int
 	variant    routing.Variant
+	staleness  int
 	hasRouting bool
 	routing    routing.Params
 	hasNetwork bool
@@ -25,7 +26,7 @@ type envKey struct {
 
 // specKey extracts the construction-affecting fields of a spec.
 func specKey(spec TrialSpec) envKey {
-	k := envKey{geometry: spec.Geometry, shards: spec.Shards, variant: spec.Variant}
+	k := envKey{geometry: spec.Geometry, shards: spec.Shards, variant: spec.Variant, staleness: spec.Staleness}
 	if spec.RoutingParams != nil {
 		k.hasRouting, k.routing = true, *spec.RoutingParams
 	}
@@ -72,6 +73,9 @@ func (p *systemPool) acquire(spec TrialSpec, seed int64) (*dragonfly.System, err
 	}
 	if spec.Variant != routing.ExactUGAL {
 		opts = append(opts, dragonfly.WithRoutingVariant(spec.Variant))
+	}
+	if spec.Staleness > 1 {
+		opts = append(opts, dragonfly.WithReplicaStaleness(spec.Staleness))
 	}
 	if spec.RoutingParams != nil {
 		opts = append(opts, dragonfly.WithRouting(*spec.RoutingParams))

@@ -225,6 +225,9 @@ type Fabric struct {
 	// variant. lanes holds the per-group packet-path partitions, groupOfLink
 	// the owner group of each link's source router, ownStamp the per-link
 	// dirty epoch stamps, syncEpoch/syncArmed the replica sync chain.
+	// staleness is the replica-sync decimation factor K: the sync chain
+	// fires every syncPeriod = K × lookahead cycles (K=1 is the PR 8
+	// behaviour, byte-identical by arithmetic).
 	spolicy     *routing.ShardedPolicy
 	lanes       []laneState
 	groupOfLink []int32
@@ -232,6 +235,8 @@ type Fabric struct {
 	syncEpoch   uint32
 	syncArmed   bool
 	lookahead   sim.Time
+	staleness   int
+	syncPeriod  sim.Time
 
 	// observers are the delivery observers in registration order. Multiple
 	// observers coexist — per-job delivery capture, the message log and

@@ -30,28 +30,35 @@ import (
 //     and no staleness. Remote links are read from the group's replica and
 //     advanced locally, with the delta recorded in a per-link outbox entry.
 //
-//   - Sync: a serial-domain engine event fires at every lookahead boundary
-//     T_k = k*L while traffic is in flight. Horizon windows are always
-//     clipped at the earliest pending serial event, so the sync
-//     deterministically observes *exactly* the packet events with at < T_k,
-//     at every shard count. It folds each group's outbox deltas into the
-//     authoritative links (additively — concurrent load from several groups
-//     stacks, modelling contention), refreshes every group's replica for
-//     each touched link, and re-arms itself while any lane saw new packets
-//     or still has ops queued. Replica staleness is therefore bounded by
-//     one lookahead window (L = 500 cycles under DefaultConfig — comparable
-//     to the 600-cycle CreditDelay the exact view already carries, which is
-//     why the relaxation is arguably closer to real Aries delayed-credit
-//     telemetry than the instantaneous global view).
+//   - Sync: a serial-domain engine event fires at every sync boundary
+//     T_k = k*K*L while traffic is in flight, where L is the lookahead and
+//     K is the replica-staleness knob (WithReplicaStaleness; K=1 by
+//     default, arithmetic-identical to the historical per-lookahead sync).
+//     Horizon windows are always clipped at the earliest pending serial
+//     event, so the sync deterministically observes *exactly* the packet
+//     events with at < T_k, at every shard count. It folds each group's
+//     outbox deltas into the authoritative links (additively — concurrent
+//     load from several groups stacks, modelling contention), refreshes
+//     every group's replica for each touched link, and re-arms itself while
+//     any lane saw new packets or still has ops queued. Replica staleness
+//     is therefore bounded by K lookahead windows (K·L = K·500 cycles under
+//     DefaultConfig; at K=1 that is comparable to the 600-cycle CreditDelay
+//     the exact view already carries, which is why the relaxation is
+//     arguably closer to real Aries delayed-credit telemetry than the
+//     instantaneous global view). Larger K trades congestion-view freshness
+//     for fewer serial sync events — each K is its own deterministic model
+//     with its own golden family, and the `fidelity` experiment measures
+//     the trade.
 //
-// Delivery completions need the serial-domain API (rank wakeups, observers),
-// so the window posts them through ShardContext.ScheduleSerial; they execute
-// at the first barrier at or after DeliveredAt, keyed shard-count-
-// independently.
+// Delivery completions execute as conforming-parallel events of the source
+// group at DeliveredAt; the in-window half only unparks the lane arena slot,
+// and the callbacks that need the serial-domain API (rank wakeups,
+// observers) are deferred to the window barrier through the canonical merge
+// (ShardContext.Defer), keyed shard-count-independently.
 //
 // The determinism contract of the variant: output is a pure function of
-// (variant, seed, geometry, workload, drive schedule). It differs from
-// ExactUGAL by construction, but is byte-identical across shard counts
+// (variant, staleness, seed, geometry, workload, drive schedule). It differs
+// from ExactUGAL by construction, but is byte-identical across shard counts
 // {1,2,4,8} and across Run/Step drive — pinned by its own golden family.
 
 // laneState is one group's mutable packet-path state. A lane is written by
@@ -171,17 +178,22 @@ var _ routing.CongestionView = (*laneView)(nil)
 
 // EnableShardable switches the fabric's packet path to the ShardableUGAL
 // variant: per-group routing lanes over sp, packet inject events in the
-// sharded engine's conforming-parallel class, and the lookahead-boundary
-// sync chain. AttachSharding must have been called first; the topology needs
-// at least two groups (a connected single group has no global links and so
-// no lookahead). The replica arenas are allocated here, once — the window
-// hot path and the sync never allocate in steady state.
-func (f *Fabric) EnableShardable(sp *routing.ShardedPolicy) error {
+// sharded engine's conforming-parallel class, and the sync chain that
+// refreshes congestion replicas every staleness × lookahead cycles
+// (staleness 1 is the classic per-boundary sync). AttachSharding must have
+// been called first; the topology needs at least two groups (a connected
+// single group has no global links and so no lookahead). The replica arenas
+// are allocated here, once — the window hot path and the sync never allocate
+// in steady state.
+func (f *Fabric) EnableShardable(sp *routing.ShardedPolicy, staleness int) error {
 	if f.sharded == nil {
 		return fmt.Errorf("network: EnableShardable requires AttachSharding first")
 	}
 	if sp == nil {
 		return fmt.Errorf("network: EnableShardable needs a sharded policy")
+	}
+	if staleness < 1 {
+		return fmt.Errorf("network: replica staleness must be >= 1, got %d", staleness)
 	}
 	groups := f.sharded.Groups()
 	if sp.Groups() != groups {
@@ -200,6 +212,8 @@ func (f *Fabric) EnableShardable(sp *routing.ShardedPolicy) error {
 	}
 	f.spolicy = sp
 	f.lookahead = lookahead
+	f.staleness = staleness
+	f.syncPeriod = lookahead * sim.Time(staleness)
 	f.ownStamp = make([]uint32, nl)
 	f.lanes = make([]laneState, groups)
 	for g := range f.lanes {
@@ -222,6 +236,21 @@ func (f *Fabric) Variant() routing.Variant {
 
 // ShardedPolicy returns the per-group routing state, or nil under ExactUGAL.
 func (f *Fabric) ShardedPolicy() *routing.ShardedPolicy { return f.spolicy }
+
+// ShardableActive reports whether the shardable packet path is enabled —
+// the routing-free way for callers (the MPI layer) to pick the promoted,
+// conforming-parallel scheduling path for their own events.
+func (f *Fabric) ShardableActive() bool { return f.spolicy != nil }
+
+// ReplicaStaleness returns the replica-sync decimation factor K (sync period
+// = K × lookahead). It returns 1 on a fabric running ExactUGAL, where the
+// knob has no effect.
+func (f *Fabric) ReplicaStaleness() int {
+	if f.staleness < 1 {
+		return 1
+	}
+	return f.staleness
+}
 
 // resetShardable rewinds the variant state; Fabric.Reset calls it after the
 // lanes' structural arenas already exist, so it is O(state), no allocation.
@@ -251,26 +280,26 @@ func (f *Fabric) resetShardable() {
 	f.spolicy.Reset(f.engine.Seed())
 }
 
-// armSync starts the sync chain at the next lookahead boundary if it is not
-// already running. Called from Send (serial domain), so no window can span
-// the armed boundary: subsequent windows see the pending sync event and clip
-// at it.
+// armSync starts the sync chain at the next sync boundary (a multiple of
+// syncPeriod = staleness × lookahead) if it is not already running. Called
+// from Send (serial domain), so no window can span the armed boundary:
+// subsequent windows see the pending sync event and clip at it.
 func (f *Fabric) armSync(now sim.Time) {
 	if f.syncArmed {
 		return
 	}
 	f.syncArmed = true
-	next := (now/f.lookahead + 1) * f.lookahead
+	next := (now/f.syncPeriod + 1) * f.syncPeriod
 	f.engine.ScheduleCall(next, f, fabricOpSync, 0)
 }
 
-// runSync is the lookahead-boundary replica synchronization (serial domain).
+// runSync is the sync-boundary replica synchronization (serial domain).
 // Window clipping guarantees every packet event with at < Now() has executed
 // and none with at >= Now() has, at every shard count — so the fold below is
 // deterministic and shard-count independent.
 func (f *Fabric) runSync() {
 	at := f.engine.Now()
-	prev := at - f.lookahead
+	prev := at - f.syncPeriod
 	// Fold each lane's remote-link deltas into the authoritative links, in
 	// lane order. Timing folds additively: the lane's serialization cycles
 	// extend the link's busy horizon from max(freeAt, previous boundary), so
@@ -312,7 +341,7 @@ func (f *Fabric) runSync() {
 	}
 	f.syncEpoch++
 	if activity || queued > 0 {
-		f.engine.ScheduleCall(at+f.lookahead, f, fabricOpSync, 0)
+		f.engine.ScheduleCall(at+f.syncPeriod, f, fabricOpSync, 0)
 	} else {
 		f.syncArmed = false
 	}
@@ -369,12 +398,17 @@ func (f *Fabric) laneAdvance(lane *laneState, g int32, id topo.LinkID, start sim
 }
 
 // HandleLocalEvent implements sim.LocalHandler: under ShardableUGAL, packet
-// injection is a conforming-parallel event executed by the window worker of
-// the source node's group.
+// injection and delivery completion are conforming-parallel events executed
+// by the window worker of the source node's group. A completion touches no
+// state in-window — its callbacks (rank wakeups, observers) need the
+// serial-domain API, so it defers itself to the window barrier, where the
+// canonical merge runs it in shard-count-independent order.
 func (f *Fabric) HandleLocalEvent(sc *sim.ShardContext, op, arg int64) {
 	switch op {
 	case fabricOpInject:
 		f.injectLane(sc, topo.NodeID(arg))
+	case fabricOpDeliverLane:
+		sc.Defer(f, fabricOpDeliverLane, arg)
 	}
 }
 
@@ -384,8 +418,8 @@ var _ sim.LocalHandler = (*Fabric)(nil)
 // all mutable state it touches is lane-partitioned — the group's RNG/policy
 // lane, its link replicas and outboxes, its op pool — plus the source NIC,
 // which only this group's window (and the serial domain between windows)
-// ever touches. Completions are posted to the serial domain via
-// ScheduleSerial.
+// ever touches. Completions stay in the conforming-parallel class: they fire
+// as local events at DeliveredAt and defer their callbacks to the barrier.
 func (f *Fabric) injectLane(sc *sim.ShardContext, src topo.NodeID) {
 	g := sc.Group()
 	lane := &f.lanes[g]
@@ -491,7 +525,7 @@ func (f *Fabric) injectLane(sc *sim.ShardContext, src topo.NodeID) {
 		lane.opsQueued--
 		if done != nil || len(f.observers) > 0 {
 			idx := lane.park(d, done)
-			sc.ScheduleSerial(d.DeliveredAt, f, fabricOpDeliverLane, int64(g)<<40|int64(idx))
+			sc.Schedule(g, d.DeliveredAt, f, fabricOpDeliverLane, int64(g)<<40|int64(idx))
 		}
 	}
 
@@ -503,8 +537,8 @@ func (f *Fabric) injectLane(sc *sim.ShardContext, src topo.NodeID) {
 }
 
 // completeLaneDelivery fires the observers and done callback for a delivery
-// parked by injectLane (serial domain, at the first barrier at or after
-// DeliveredAt).
+// parked by injectLane. It runs serially on the coordinator at the barrier
+// of the window that executed the completion event (ShardContext.Defer).
 func (f *Fabric) completeLaneDelivery(packed int64) {
 	g := packed >> 40
 	idx := int32(packed & (1<<40 - 1))

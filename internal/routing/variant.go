@@ -3,6 +3,7 @@ package routing
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"dragonfly/internal/topo"
@@ -59,6 +60,67 @@ func ParseVariant(s string) (Variant, error) {
 	default:
 		return ExactUGAL, fmt.Errorf("routing: unknown variant %q (want exact or shardable)", s)
 	}
+}
+
+// MaxStaleness bounds the replica-sync decimation factor K. The sync period
+// is K × lookahead cycles; beyond a few dozen windows the congestion view is
+// effectively static and larger values only invite overflow, so the grammar
+// rejects them outright instead of silently saturating.
+const MaxStaleness = 4096
+
+// ParseStaleness converts a -staleness flag value to the replica-sync
+// decimation factor K. The empty string means the default K=1 (refresh every
+// lookahead boundary — PR 8 behaviour); otherwise the value must be a
+// positive integer, optionally written as "staleness=K" (the routing-variant
+// suffix spelling). Matching is case-insensitive and ignores surrounding
+// whitespace.
+func ParseStaleness(s string) (int, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 1, nil
+	}
+	if rest, ok := strings.CutPrefix(t, "staleness="); ok {
+		t = strings.TrimSpace(rest)
+	}
+	k, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("routing: invalid staleness %q (want a positive integer K, sync period = K x lookahead)", s)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("routing: staleness must be >= 1, got %d", k)
+	}
+	if k > MaxStaleness {
+		return 0, fmt.Errorf("routing: staleness %d exceeds the maximum %d", k, MaxStaleness)
+	}
+	return k, nil
+}
+
+// ParseVariantSpec parses a routing-variant flag value with an optional
+// replica-staleness suffix: "shardable", "shardable:staleness=4". The bare
+// grammar is ParseVariant's; the suffix is ParseStaleness's "staleness=K"
+// spelling and is only meaningful on the shardable variant (the exact
+// algorithm has no replicas), so a staleness above 1 on "exact" is an error.
+func ParseVariantSpec(s string) (Variant, int, error) {
+	head, tail, found := strings.Cut(s, ":")
+	v, err := ParseVariant(head)
+	if err != nil {
+		return ExactUGAL, 0, err
+	}
+	if !found {
+		return v, 1, nil
+	}
+	t := strings.ToLower(strings.TrimSpace(tail))
+	if !strings.HasPrefix(t, "staleness=") {
+		return ExactUGAL, 0, fmt.Errorf("routing: unknown variant option %q (want staleness=K)", tail)
+	}
+	k, err := ParseStaleness(t)
+	if err != nil {
+		return ExactUGAL, 0, err
+	}
+	if k > 1 && v != ShardableUGAL {
+		return ExactUGAL, 0, fmt.Errorf("routing: staleness=%d requires the shardable variant (exact has no congestion replicas)", k)
+	}
+	return v, k, nil
 }
 
 // splitmix64 is the SplitMix64 finalizer, used to derive independent

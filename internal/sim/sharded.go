@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Sharded partitions an Engine's event stream across per-group shard heaps
@@ -107,6 +108,34 @@ type Sharded struct {
 	parallelWindows uint64
 	crossPosts      uint64
 	localExec       uint64
+
+	// Barrier observability: batchedWindows counts windows that opened
+	// immediately after another window with no serial dispatch in between
+	// (back-to-back windows are the payoff of a near-empty serial domain);
+	// occupancySum accumulates the number of active shards per window, so
+	// occupancySum/windows is the mean window occupancy; barrierWait is the
+	// cumulative wall-clock time the coordinator spent parked at window
+	// barriers. barrierWait is a wall-clock diagnostic only — it never feeds
+	// back into simulated time or event order.
+	batchedWindows uint64
+	occupancySum   uint64
+	barrierWait    time.Duration
+	prevWasWindow  bool
+
+	// Persistent worker pool. Workers are spawned lazily at the first
+	// multi-shard window, parked on their per-shard wake channel between
+	// windows, and torn down by Shutdown (run completion, Engine.Reset, or
+	// the MPI scheduler's shutdown paths). poolWake carries the window end;
+	// closing it is the quit signal. poolDone is the barrier: every woken
+	// worker sends exactly one token per window, panics included.
+	poolWake []chan Time
+	poolDone chan int
+	poolWG   sync.WaitGroup
+	poolUp   bool
+
+	// actCursor is the reusable per-shard cursor array for the barrier-action
+	// k-way merge (runBarrierActions).
+	actCursor []int
 }
 
 // event classes, ordered: at equal timestamps serial-domain events execute
@@ -184,6 +213,7 @@ func NewSharded(engine *Engine, groups, shards int, lookahead Time) (*Sharded, e
 		workerMaxAt:  make([]Time, shards),
 		workerNexec:  make([]uint64, shards),
 		workerPushed: make([]uint64, shards),
+		actCursor:    make([]int, shards),
 	}
 	// Contiguous block partition: shard i owns groups [i*q+min(i,r), ...),
 	// the same arithmetic at every shard count so ownership is predictable.
@@ -235,6 +265,35 @@ func (s *Sharded) CrossPosts() uint64 { return s.crossPosts }
 // is eligible for multicore execution.
 func (s *Sharded) ConformingExecuted() uint64 { return s.localExec }
 
+// WindowStats is the per-run barrier/window diagnostic bundle exposed through
+// System.Sharded(): how many horizon windows ran, how many of them ran with
+// two or more shards active, how many opened back-to-back with no serial
+// dispatch in between (micro-batching), the mean number of active shards per
+// window, and the cumulative wall-clock time the coordinator spent parked at
+// window barriers.
+type WindowStats struct {
+	Windows         uint64
+	ParallelWindows uint64
+	BatchedWindows  uint64
+	MeanOccupancy   float64
+	BarrierWait     time.Duration
+}
+
+// WindowStats returns the driver's window/barrier counters for the current
+// run (Engine.Reset rewinds them).
+func (s *Sharded) WindowStats() WindowStats {
+	ws := WindowStats{
+		Windows:         s.windows,
+		ParallelWindows: s.parallelWindows,
+		BatchedWindows:  s.batchedWindows,
+		BarrierWait:     s.barrierWait,
+	}
+	if s.windows > 0 {
+		ws.MeanOccupancy = float64(s.occupancySum) / float64(s.windows)
+	}
+	return ws
+}
+
 // pending returns the number of events parked in shard heaps (the engine's
 // own heap is counted by the caller).
 func (s *Sharded) pending() int {
@@ -249,6 +308,7 @@ func (s *Sharded) pending() int {
 // counters; Engine.Reset calls it so a reset sharded system behaves
 // byte-identically to a freshly built one.
 func (s *Sharded) reset() {
+	s.Shutdown()
 	for i := range s.resident {
 		s.resident[i].ev = s.resident[i].ev[:0]
 		s.local[i].ev = s.local[i].ev[:0]
@@ -259,10 +319,19 @@ func (s *Sharded) reset() {
 	for i := range s.srcSeq {
 		s.srcSeq[i] = 0
 	}
+	for i := range s.ctx {
+		sc := &s.ctx[i]
+		sc.posts = sc.posts[:0]
+		sc.sposts = sc.sposts[:0]
+		sc.dposts = sc.dposts[:0]
+	}
 	s.deferred.ev = s.deferred.ev[:0]
 	s.nlocal = 0
 	s.execShard = -1
 	s.windows, s.parallelWindows, s.crossPosts, s.localExec = 0, 0, 0, 0
+	s.batchedWindows, s.occupancySum = 0, 0
+	s.barrierWait = 0
+	s.prevWasWindow = false
 }
 
 // ScheduleResident schedules a serial-domain event owned by group g: it is
@@ -309,12 +378,18 @@ func (s *Sharded) ScheduleLocal(g int32, at Time, h LocalHandler, a, b int64) {
 // executing event's group and simulated time, and the only legal scheduling
 // interface inside a parallel window.
 type ShardContext struct {
-	s      *Sharded
-	shard  int32
-	group  int32
-	now    Time
+	s     *Sharded
+	shard int32
+	group int32
+	now   Time
+	// src and seq are the executing event's source group and per-src-group
+	// sequence number: together with (now, group) they form the canonical key
+	// Defer stamps onto barrier actions.
+	src    int32
+	seq    uint64
 	posts  []shardEvent // same-shard pushes deferred until the pop loop ends
 	sposts []shardEvent // deferred-serial posts, settled at the barrier
+	dposts []shardEvent // barrier actions (Defer), merged and run at the barrier
 }
 
 // Now returns the executing event's simulated time. During a parallel
@@ -381,6 +456,27 @@ func (sc *ShardContext) ScheduleSerial(at Time, h Handler, a, b int64) {
 	ev := shardEvent{at: at, seq: s.srcSeq[sc.group], dst: sc.group, src: sc.group, class: classSerialPost, h: h, a: a, b: b}
 	s.srcSeq[sc.group]++
 	sc.sposts = append(sc.sposts, ev)
+}
+
+// Defer registers h.HandleEvent(engine, a, b) to run serially on the
+// coordinator goroutine at this window's barrier. It is the promotion
+// mechanism for serial-domain side effects of conforming-parallel events:
+// the event itself (rank-compute wakeup bookkeeping, delivery-lane
+// accounting) executes inside the window as group-owned work, and only the
+// callback that needs the full serial-domain API — marking a rank runnable,
+// firing delivery observers — waits for the barrier.
+//
+// Actions carry the executing event's canonical (time, class, dstGroup,
+// srcGroup, seq) key and run in that order, merged across shards, so the
+// barrier-action sequence — and everything downstream of it, like the MPI
+// scheduler's FIFO runnable queue — is byte-identical at every shard count
+// and in both drive modes. Actions from the same event run in registration
+// order. The engine clock has already been folded forward to the window
+// maximum when an action runs, exactly like a deferred-serial event.
+func (sc *ShardContext) Defer(h Handler, a, b int64) {
+	sc.dposts = append(sc.dposts, shardEvent{
+		at: sc.now, seq: sc.seq, dst: sc.group, src: sc.src, class: classLocal, h: h, a: a, b: b,
+	})
 }
 
 // mail appends to the (sc.shard, dst) SPSC mailbox.
@@ -494,6 +590,10 @@ func (s *Sharded) drive(deadline Time) error {
 		localAt, localShard := s.nextLocal()
 		switch {
 		case !serial.ok && localShard < 0:
+			// Natural completion: every heap is empty, the run is over. Park
+			// nothing — tear the worker pool down so a finished run leaves no
+			// goroutines behind.
+			s.Shutdown()
 			return nil
 		case localShard >= 0 && (!serial.ok || localAt < serial.at):
 			// A conforming-parallel event is strictly earliest (ties go to
@@ -540,6 +640,7 @@ func (s *Sharded) step() (bool, error) {
 	localAt, localShard := s.nextLocal()
 	switch {
 	case !serial.ok && localShard < 0:
+		s.Shutdown()
 		return false, nil
 	case localShard >= 0 && (!serial.ok || localAt < serial.at):
 		windowEnd := localAt + s.lookahead
@@ -561,6 +662,7 @@ func (s *Sharded) step() (bool, error) {
 // head (shard == -1), a deferred-serial event (shard == -2) or a resident
 // shard-heap head.
 func (s *Sharded) dispatchSerial(shard int) error {
+	s.prevWasWindow = false
 	e := s.engine
 	if shard == -1 {
 		return e.dispatch()
@@ -634,10 +736,20 @@ func (s *Sharded) settleContext(sc *ShardContext) {
 }
 
 // runWindow executes every conforming-parallel event with at < windowEnd,
-// all shards concurrently, then drains the mailboxes at the barrier. The
-// workers are per-window goroutines joined before return — there is no
-// persistent worker pool to leak, and a cancelled run simply stops opening
-// windows.
+// all shards concurrently, then drains the mailboxes at the barrier and runs
+// the window's deferred barrier actions in canonical merge order. The workers
+// are a persistent pool of pinned goroutines parked on per-shard wake
+// channels between windows — spawned lazily at the first multi-shard window,
+// woken with the window end, and counted back in through the done channel
+// before the barrier proceeds, so a window costs zero goroutine churn and
+// zero allocations in steady state. The pool is torn down by Shutdown (run
+// completion, Engine.Reset, the MPI scheduler's shutdown paths); a cancelled
+// run simply stops opening windows and the next Shutdown reaps the parked
+// workers. A worker panic is captured in the worker's slot and re-raised
+// here, lowest shard first, after every woken worker has parked again (the
+// same deterministic failure order as the historical per-window goroutines);
+// the pool is torn down before the panic unwinds so a crashed run leaks no
+// goroutines either.
 func (s *Sharded) runWindow(windowEnd Time) error {
 	e := s.engine
 	active := 0
@@ -649,44 +761,147 @@ func (s *Sharded) runWindow(windowEnd Time) error {
 		}
 	}
 	s.windows++
+	s.occupancySum += uint64(active)
+	if s.prevWasWindow {
+		s.batchedWindows++
+	}
+	s.prevWasWindow = true
 	if active == 1 {
-		// One busy shard: run inline, skip the goroutine and barrier.
+		// One busy shard: run inline, skip the wake/park round-trip.
 		s.windowActive.Store(true)
 		s.windowWorker(last, windowEnd)
 		s.windowActive.Store(false)
 		if p := s.workerPanic[last]; p != nil {
 			s.workerPanic[last] = nil
+			s.Shutdown()
 			panic(p)
 		}
 		s.settleContext(&s.ctx[last])
-		return s.closeWindow(e)
+		if err := s.closeWindow(e); err != nil {
+			return err
+		}
+		return s.runBarrierActions(e)
 	}
 	s.parallelWindows++
+	if !s.poolUp {
+		s.startWorkers()
+	}
 	s.windowActive.Store(true)
-	var wg sync.WaitGroup
+	woken := 0
 	for i := range s.local {
 		h := &s.local[i]
 		if len(h.ev) == 0 || h.ev[0].at >= windowEnd {
 			continue
 		}
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			s.windowWorker(shard, windowEnd)
-		}(i)
+		s.poolWake[i] <- windowEnd
+		woken++
 	}
-	wg.Wait()
+	start := time.Now()
+	for ; woken > 0; woken-- {
+		<-s.poolDone
+	}
+	s.barrierWait += time.Since(start)
 	s.windowActive.Store(false)
 	for i := range s.workerPanic {
 		if p := s.workerPanic[i]; p != nil {
 			s.workerPanic[i] = nil
+			// Every woken worker has parked again (the done loop above
+			// collected them all), so the pool can be reaped before the panic
+			// unwinds — a panicked run must not strand parked goroutines.
+			s.Shutdown()
 			panic(p)
 		}
 	}
 	for i := range s.ctx {
 		s.settleContext(&s.ctx[i])
 	}
-	return s.closeWindow(e)
+	if err := s.closeWindow(e); err != nil {
+		return err
+	}
+	return s.runBarrierActions(e)
+}
+
+// startWorkers spawns the persistent worker pool: one goroutine per shard,
+// parked on its wake channel. The wake channels are buffered (capacity 1) so
+// the coordinator's wake loop never blocks; the channel send/receive pairs
+// provide the happens-before edges between the coordinator's heap writes and
+// the worker's reads (and back), which is the pool's entire memory-ordering
+// story.
+func (s *Sharded) startWorkers() {
+	if s.poolWake == nil {
+		s.poolWake = make([]chan Time, s.shards)
+	}
+	s.poolDone = make(chan int, s.shards)
+	for i := 0; i < s.shards; i++ {
+		wake := make(chan Time, 1)
+		s.poolWake[i] = wake
+		s.poolWG.Add(1)
+		go func(shard int, wake <-chan Time) {
+			defer s.poolWG.Done()
+			for end := range wake {
+				s.windowWorker(shard, end)
+				s.poolDone <- shard
+			}
+		}(i, wake)
+	}
+	s.poolUp = true
+}
+
+// Shutdown tears down the persistent worker pool and waits for the workers
+// to exit. It is idempotent and safe on a driver that never spawned workers.
+// The drive loop calls it on natural run completion; Engine.Reset and the
+// MPI scheduler's shutdown paths call it so an abandoned or reset run leaves
+// no parked goroutines behind. Workers are only ever parked when Shutdown
+// runs (the barrier collects every woken worker before runWindow returns,
+// panics included), so closing the wake channels is race-free.
+func (s *Sharded) Shutdown() {
+	if !s.poolUp {
+		return
+	}
+	s.poolUp = false
+	for i := range s.poolWake {
+		close(s.poolWake[i])
+		s.poolWake[i] = nil
+	}
+	s.poolWG.Wait()
+}
+
+// runBarrierActions executes the window's deferred barrier actions (Defer)
+// serially on the coordinator, k-way merged across shards by the canonical
+// event key. Each shard's list is already key-sorted (its worker pops events
+// in canonical order), and keys cannot collide across shards (the key embeds
+// the destination group, and groups do not span shards), so the merge is a
+// total order independent of shard count. Actions run with the engine clock
+// already at the window maximum and the full serial-domain API available.
+func (s *Sharded) runBarrierActions(e *Engine) error {
+	n := 0
+	for i := range s.ctx {
+		s.actCursor[i] = 0
+		n += len(s.ctx[i].dposts)
+	}
+	if n == 0 {
+		return nil
+	}
+	for ; n > 0; n-- {
+		best := -1
+		var bestEv *shardEvent
+		for i := range s.ctx {
+			c := s.actCursor[i]
+			if c >= len(s.ctx[i].dposts) {
+				continue
+			}
+			head := &s.ctx[i].dposts[c]
+			if bestEv == nil || eventLess(head, bestEv) {
+				best, bestEv = i, head
+			}
+		}
+		s.actCursor[best]++
+		bestEv.h.HandleEvent(e, bestEv.a, bestEv.b)
+	}
+	for i := range s.ctx {
+		s.ctx[i].dposts = s.ctx[i].dposts[:0]
+	}
+	return nil
 }
 
 // closeWindow folds the workers' execution tallies into the engine clock,
@@ -712,10 +927,10 @@ func (s *Sharded) closeWindow(e *Engine) error {
 	return nil
 }
 
-// windowWorker drains one shard's local heap up to windowEnd. It runs on a
-// per-window goroutine (or inline when the window has one active shard) and
-// touches only shard-owned state: the shard's heap, its groups' sequence
-// counters, its context, its mailbox row and its tally slots.
+// windowWorker drains one shard's local heap up to windowEnd. It runs on the
+// shard's pinned pool worker (or inline when the window has one active
+// shard) and touches only shard-owned state: the shard's heap, its groups'
+// sequence counters, its context, its mailbox row and its tally slots.
 func (s *Sharded) windowWorker(shard int, windowEnd Time) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -729,6 +944,7 @@ func (s *Sharded) windowWorker(shard int, windowEnd Time) {
 	for len(h.ev) > 0 && h.ev[0].at < windowEnd {
 		ev := h.pop()
 		sc.group, sc.now = ev.dst, ev.at
+		sc.src, sc.seq = ev.src, ev.seq
 		maxAt = ev.at
 		executed++
 		ev.lh.HandleLocalEvent(sc, ev.a, ev.b)

@@ -324,6 +324,107 @@ func TestCrossShardMergeCanonicalOrder(t *testing.T) {
 	}
 }
 
+// serialLog records serial-domain executions (barrier actions and
+// deferred-serial events) in arrival order. It only ever runs on the
+// coordinator goroutine, so appending is race-free by construction.
+type serialLog struct {
+	log [][3]int64
+}
+
+func (l *serialLog) HandleEvent(e *Engine, a, b int64) {
+	l.log = append(l.log, [3]int64{int64(e.Now()), a, b})
+}
+
+// TestPromotedClassesMergeInvariance extends the canonical-merge property to
+// the promoted event classes this engine grew for the near-empty serial
+// domain: conforming-parallel events that Defer barrier actions (the
+// promoted rank-wakeup / delivery-completion shape) and ones that post
+// deferred-serial events (ScheduleSerial). Random interleavings — random
+// times, random source and destination groups — must produce one identical
+// serial-side execution log at every shard count in {1, 2, 4, 7} and under
+// both drive modes (windowed Run and stepped), including the engine clock
+// each action observed.
+func TestPromotedClassesMergeInvariance(t *testing.T) {
+	const groups = 7
+	drives := map[string]func(*Engine){
+		"run": runDrive,
+		"step": func(e *Engine) {
+			for {
+				ok, err := e.Step()
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					return
+				}
+			}
+		},
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng := uint64(7700 + trial)
+		type spec struct {
+			at       Time
+			src, dst int32
+			kind     uint64 // 0,1: Defer only; 2: Defer + ScheduleSerial
+		}
+		specs := make([]spec, 300)
+		for i := range specs {
+			x := splitmix64(&rng)
+			specs[i] = spec{at: Time(x % 64), src: int32(x >> 8 % groups),
+				dst: int32(x >> 16 % groups), kind: x >> 32 % 3}
+		}
+		var base [][3]int64
+		var baseCfg string
+		for _, shards := range []int{1, 2, 4, 7} {
+			for name, drive := range drives {
+				e := NewEngine(1)
+				s, err := NewSharded(e, groups, shards, 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				log := &serialLog{}
+				probe := localFunc(func(sc *ShardContext, a, b int64) {
+					sc.Defer(log, a, b)
+					if specs[b].kind == 2 {
+						sc.ScheduleSerial(sc.Now()+3, log, a, ^b)
+					}
+				})
+				seeder := localFunc(func(sc *ShardContext, a, b int64) {
+					src := sc.Group()
+					for i, sp := range specs {
+						if sp.src != src {
+							continue
+						}
+						sc.Schedule(sp.dst, sc.Now()+sc.Lookahead()+sp.at, probe, int64(src), int64(i))
+					}
+				})
+				for g := int32(0); g < groups; g++ {
+					s.ScheduleLocal(g, 10, seeder, 0, 0)
+				}
+				drive(e)
+				cfg := fmt.Sprintf("shards=%d drive=%s", shards, name)
+				if base == nil {
+					base, baseCfg = log.log, cfg
+					if len(base) == 0 {
+						t.Fatalf("trial %d %s: empty serial log", trial, cfg)
+					}
+					continue
+				}
+				if len(log.log) != len(base) {
+					t.Fatalf("trial %d %s: %d serial actions vs %d under %s",
+						trial, cfg, len(log.log), len(base), baseCfg)
+				}
+				for i := range base {
+					if log.log[i] != base[i] {
+						t.Fatalf("trial %d %s action %d: %v vs %v under %s",
+							trial, cfg, i, log.log[i], base[i], baseCfg)
+					}
+				}
+			}
+		}
+	}
+}
+
 // localFunc adapts a function to LocalHandler.
 type localFunc func(sc *ShardContext, a, b int64)
 
@@ -405,15 +506,31 @@ func TestEngineScheduleFromWindowPanics(t *testing.T) {
 	}
 }
 
-// TestShardedWorkersDoNotLeak pins the window worker lifecycle: workers are
-// per-window goroutines joined at the barrier, so after Run returns — or a
-// worker panics — the goroutine count settles back to the baseline.
+// waitGoroutines polls until the goroutine count settles back to base.
+func waitGoroutines(t *testing.T, base int, context string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: goroutines leaked: %d now vs %d at start", context, runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedWorkersDoNotLeak pins the worker-pool lifecycle: the pool's
+// pinned goroutines persist across windows within a run, but a completed run
+// (drive loop natural completion) and a panicked run (re-raise at the
+// barrier) both tear the pool down, so the goroutine count settles back to
+// the baseline.
 func TestShardedWorkersDoNotLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
 	_, _, _, _ = runPHOLD(t, 8, 8, 600, 30_000, runDrive)
+	waitGoroutines(t, base, "completed run")
 
 	// And the panic path: a worker blowing up mid-window must not strand its
-	// siblings.
+	// siblings or the parked pool.
 	e := NewEngine(2)
 	s, err := NewSharded(e, 4, 4, 100)
 	if err != nil {
@@ -431,15 +548,102 @@ func TestShardedWorkersDoNotLeak(t *testing.T) {
 		defer func() { recover() }()
 		_ = e.Run()
 	}()
+	waitGoroutines(t, base, "panicked run")
+}
 
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > base {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
-		}
-		runtime.Gosched()
-		time.Sleep(time.Millisecond)
+// TestShardedPoolPersistsAcrossWindows pins the tentpole perf property: one
+// run spawns the worker pool exactly once, however many parallel windows it
+// executes — no per-window goroutine churn.
+func TestShardedPoolPersistsAcrossWindows(t *testing.T) {
+	e := NewEngine(7)
+	s, err := NewSharded(e, 8, 4, 600)
+	if err != nil {
+		t.Fatal(err)
 	}
+	p := newPHOLD(8, 40_000)
+	p.seedInto(s)
+	// The probe samples the process goroutine count mid-window. It is
+	// scheduled into a single group so exactly one worker goroutine ever
+	// touches peak — the count itself still sees every shard's worker.
+	peak := 0
+	probe := localFunc(func(sc *ShardContext, a, b int64) {
+		if n := runtime.NumGoroutine(); n > peak {
+			peak = n
+		}
+	})
+	for _, at := range []Time{100, 10_000, 20_000, 30_000} {
+		s.ScheduleLocal(0, at, probe, 0, 0)
+	}
+	base := runtime.NumGoroutine()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, pw := s.Windows(); pw < 10 {
+		t.Fatalf("expected many parallel windows, got %d", pw)
+	}
+	// The pool is one goroutine per shard; anything above base+shards would
+	// mean windows spawned extra goroutines on top of the pool.
+	if peak > base+s.Shards() {
+		t.Fatalf("goroutine peak %d exceeds base %d + %d pool workers", peak, base, s.Shards())
+	}
+	waitGoroutines(t, base, "after run")
+}
+
+// TestShardedResetReapsWorkers pins the Reset teardown path: a run abandoned
+// mid-flight (RunUntil deadline) leaves the pool parked; Engine.Reset must
+// reap it.
+func TestShardedResetReapsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := NewEngine(5)
+	s, err := NewSharded(e, 8, 4, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPHOLD(8, 1<<40) // unbounded: the deadline cuts the run mid-flight
+	p.seedInto(s)
+	if err := e.RunUntil(20_000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("expected a mid-flight run with pending events")
+	}
+	e.Reset(5)
+	waitGoroutines(t, base, "after Reset")
+}
+
+// TestShardedShutdownIdempotent pins that Shutdown is safe to call at any
+// point: before any window ran, twice in a row, and between runs (the next
+// window lazily respawns the pool).
+func TestShardedShutdownIdempotent(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := NewEngine(3)
+	s, err := NewSharded(e, 6, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown() // no pool yet: must be a no-op
+	p := newPHOLD(6, 10_000)
+	p.seedInto(s)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := p.fingerprint()
+	s.Shutdown() // run completion already tore the pool down
+	s.Shutdown()
+	waitGoroutines(t, base, "after explicit Shutdown")
+
+	// A second run on the same driver respawns the pool lazily and produces
+	// the same bytes.
+	e.Reset(3)
+	q := newPHOLD(6, 10_000)
+	q.seedInto(s)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.fingerprint() != first {
+		t.Fatalf("rerun after Shutdown diverges: %#x vs %#x", q.fingerprint(), first)
+	}
+	waitGoroutines(t, base, "after rerun")
 }
 
 // TestShardedEventLimitStops pins that the safety cap also binds windowed
@@ -520,6 +724,43 @@ func TestShardedParallelWindowsActuallyOverlap(t *testing.T) {
 	if _, pw := s.Windows(); pw != 1 {
 		t.Fatalf("expected exactly one parallel window, got %d", pw)
 	}
+}
+
+// BenchmarkShardedWindowSteadyState measures the steady-state cost of the
+// windowed drive loop on a warmed engine: the worker pool is already
+// spawned, every heap, mailbox and context arena is at capacity, and each
+// benchmark op advances an endless PHOLD workload by one RunUntil segment
+// spanning many horizon windows. allocs/op is the headline and must be 0 —
+// the persistent pool exists precisely so that steady-state windows cost no
+// goroutine churn and no allocations; scripts/bench_smoke.sh gates on it
+// (window_allocs_per_op in BENCH_budget.txt).
+func BenchmarkShardedWindowSteadyState(b *testing.B) {
+	const segment = Time(10_000)
+	e := NewEngine(7)
+	s, err := NewSharded(e, 8, 4, 600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := newPHOLD(8, 1<<40) // endless: the deadline bounds each op
+	p.seedInto(s)
+	// Warm-up: spawn the pool and grow every arena to steady-state capacity.
+	deadline := Time(200_000)
+	if err := e.RunUntil(deadline); err != nil {
+		b.Fatal(err)
+	}
+	w0, _ := s.Windows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deadline += segment
+		if err := e.RunUntil(deadline); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	w1, _ := s.Windows()
+	b.ReportMetric(float64(w1-w0)/float64(b.N), "windows/op")
+	s.Shutdown()
 }
 
 // BenchmarkPHOLDSharded measures the sharded engine on the conforming PHOLD

@@ -109,6 +109,7 @@ type config struct {
 	seed      int64
 	shards    int
 	variant   RoutingVariant
+	staleness int
 	noise     *NoiseConfig
 	telemetry *TelemetryConfig
 }
@@ -117,11 +118,12 @@ type config struct {
 // by hand.
 func defaultConfig() config {
 	return config{
-		geometry: topo.SmallConfig(4),
-		routing:  routing.DefaultParams(),
-		network:  network.DefaultConfig(),
-		seed:     1,
-		shards:   1,
+		geometry:  topo.SmallConfig(4),
+		routing:   routing.DefaultParams(),
+		network:   network.DefaultConfig(),
+		seed:      1,
+		shards:    1,
+		staleness: 1,
 	}
 }
 
@@ -204,8 +206,9 @@ func WithShards(n int) Option {
 //
 // ShardableUGAL relaxes exactly those two couplings — one deterministic RNG
 // stream per dragonfly group, and per-group congestion replicas refreshed
-// once per lookahead window (staleness bounded by the minimum global-link
-// latency) — which moves packet execution into the conforming-parallel
+// every K lookahead windows (K = WithReplicaStaleness, default 1, so the
+// staleness is bounded by K times the minimum global-link latency) — which
+// moves packet execution into the conforming-parallel
 // class of the sharded engine. Its output is deterministic and
 // byte-identical across shard counts and drive modes, but differs from
 // ExactUGAL by construction: it is a different, equally pinned model, not
@@ -222,6 +225,36 @@ func WithRoutingVariant(v RoutingVariant) Option {
 			return fmt.Errorf("dragonfly: unknown routing variant %v", v)
 		}
 	}
+}
+
+// WithReplicaStaleness sets the ShardableUGAL replica-sync decimation factor
+// K: the per-group congestion replicas are refreshed every K × lookahead
+// cycles instead of at every lookahead boundary. K=1 (the default) is
+// byte-identical to the classic per-boundary sync; larger K trades
+// congestion-view freshness for fewer serial sync events and longer
+// effective parallel stretches. Every K is its own deterministic model —
+// output stays byte-identical across shard counts and drive modes for a
+// fixed K, and the `fidelity` experiment measures the K ∈ {1,2,4} trade
+// against ExactUGAL. The knob requires WithRoutingVariant(ShardableUGAL)
+// when K > 1; ExactUGAL has no replicas to grow stale.
+func WithReplicaStaleness(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("dragonfly: WithReplicaStaleness needs k >= 1, got %d", k)
+		}
+		if k > routing.MaxStaleness {
+			return fmt.Errorf("dragonfly: WithReplicaStaleness %d exceeds the maximum %d", k, routing.MaxStaleness)
+		}
+		c.staleness = k
+		return nil
+	}
+}
+
+// ParseStaleness maps a command-line -staleness flag to a
+// WithReplicaStaleness argument: the empty string means the default K=1,
+// otherwise a positive integer, optionally spelled "staleness=K".
+func ParseStaleness(s string) (int, error) {
+	return routing.ParseStaleness(s)
 }
 
 // ParseShards maps a command-line shard-count flag to a WithShards argument:

@@ -112,3 +112,29 @@ if [ "$vallocs" -gt "$vlimit" ]; then
     exit 1
 fi
 echo "bench_smoke: OK — shardable allocs/op $vallocs within budget $vbudget (+10% = $vlimit)"
+
+# Fifth gate: steady-state horizon windows. BenchmarkShardedWindowSteadyState
+# (package internal/sim) advances a warmed sharded engine — worker pool
+# spawned, arenas at capacity — window after window; its budget is exactly 0
+# allocs/op. Unlike the other gates this one has no +10% slack: a single
+# allocation per RunUntil segment means something on the per-window path
+# (worker wake, barrier collect, context reuse, heap growth) regressed.
+wbudget=$(awk '$1 == "window_allocs_per_op" {print $2}' BENCH_budget.txt)
+if [ -z "$wbudget" ]; then
+    echo "bench_smoke: no window_allocs_per_op entry in BENCH_budget.txt" >&2
+    exit 2
+fi
+
+out=$(go test -run '^$' -bench '^BenchmarkShardedWindowSteadyState$' -benchmem -benchtime 50x -timeout 30m ./internal/sim)
+echo "$out"
+wallocs=$(echo "$out" | awk '/^BenchmarkShardedWindowSteadyState/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$wallocs" ]; then
+    echo "bench_smoke: could not find allocs/op in window benchmark output" >&2
+    exit 2
+fi
+
+if [ "$wallocs" -gt "$wbudget" ]; then
+    echo "bench_smoke: FAIL — steady-state window allocs/op $wallocs exceeds budget $wbudget (no slack: windows must be allocation-free)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — steady-state window allocs/op $wallocs within budget $wbudget"

@@ -3,6 +3,7 @@ package dragonfly_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -16,11 +17,25 @@ import (
 // serial algorithm by construction (per-group RNG streams, bounded-staleness
 // congestion replicas) but is itself pinned: byte-identical across shard
 // counts {1, 2, 4, 8} and across the Job.Run and RunConcurrent drive modes.
-// Captured at PR 8 alongside the unchanged ExactUGAL goldens.
+// Captured at PR 8; re-pinned at PR 9 when rank-compute wakeups and delivery
+// completions moved from the deferred-serial domain to conforming-parallel
+// execution (the canonical-key merge reorders the variant's byte stream; the
+// ExactUGAL goldens are untouched).
 const (
-	goldenShardableSmallRun        = "3f94cf41756d7e1e594a134da406671c8ec2232f9bf49dbae5aea8dc5c918ebe"
-	goldenShardableMediumRun       = "64ff6cb1f226889340911ad897ab0171a6707444dc8c730e2af74d5021278710"
-	goldenShardableSmallConcurrent = "927f9e056b9d4b26c7e1d4909497097b271b3ce175bfda31de9bc4f31befb809"
+	goldenShardableSmallRun        = "90bed2495ea172149ad54fb3c583c0dca70b477cd5bd07a4be5124a04cf35c0b"
+	goldenShardableMediumRun       = "dcb142c7c24028e116c63965169b36a29b1afbc6fa147e1b987b2b79b9f7f526"
+	goldenShardableSmallConcurrent = "d6ca95a6ebe8ce78b86c14dceb5c7d11e887046f6dc17f2b49879d0b29709eae"
+)
+
+// Golden hashes of the replica-staleness decimation (WithReplicaStaleness):
+// each K > 1 is its own deterministic model — the congestion replicas refresh
+// every K lookahead windows instead of every window — pinned byte-identical
+// across shard counts and both drive modes. K = 1 is arithmetic-identical to
+// the base shardable family above and is covered by those pins.
+const (
+	goldenShardableSmallK2           = "0184d9b5e1ecdd09002d75030db492c08b4bb372d4c4ab1c9b68f451e39244e1"
+	goldenShardableSmallK4Run        = "16425fac3a5f689a9998abc91cb77e46ab57f95e71ab535b9429e29d12f61710"
+	goldenShardableSmallK4Concurrent = "1f08339b433999e4e380fb92f3ac01be46090f350cf2990849929b33e26a7953"
 )
 
 // shardableSystem builds a ShardableUGAL system on the given geometry with
@@ -115,6 +130,132 @@ func TestShardableRunConcurrentByteIdentical(t *testing.T) {
 	}
 }
 
+// stalenessSystem is shardableSystem with the replica-sync decimation factor.
+func stalenessSystem(t *testing.T, g dragonfly.Geometry, seed int64, shards, k int) *dragonfly.System {
+	t.Helper()
+	sys, err := dragonfly.New(
+		dragonfly.WithGeometry(g),
+		dragonfly.WithSeed(seed),
+		dragonfly.WithShards(shards),
+		dragonfly.WithRoutingVariant(dragonfly.ShardableUGAL),
+		dragonfly.WithReplicaStaleness(k),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestShardableStalenessGolden pins the replica-staleness decimation family:
+// each K > 1 is a distinct deterministic model, byte-identical across shard
+// counts {1, 2, 4, 8} and across both drive modes (Job.Run and the MPI
+// scheduler's RunConcurrent), while K = 1 collapses to the base shardable
+// byte stream exactly.
+func TestShardableStalenessGolden(t *testing.T) {
+	// K = 1 is not a new model: refreshing the replicas every lookahead
+	// window is precisely the base behaviour.
+	base := runLadderJob(t, shardableSystem(t, dragonfly.Small, 7, 1))
+	if got := runLadderJob(t, stalenessSystem(t, dragonfly.Small, 7, 1, 1)); got != base {
+		t.Fatal("WithReplicaStaleness(1) diverges from the base shardable byte stream")
+	}
+
+	for _, tc := range []struct {
+		k      int
+		golden string
+	}{
+		{2, goldenShardableSmallK2},
+		{4, goldenShardableSmallK4Run},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("k%d", tc.k), func(t *testing.T) {
+			want := runLadderJob(t, stalenessSystem(t, dragonfly.Small, 7, 1, tc.k))
+			if want == base {
+				t.Errorf("staleness %d reproduced the K=1 byte stream; decimation should be a real model change", tc.k)
+			}
+			if got := sha(want); got != tc.golden {
+				t.Errorf("shards=1 staleness=%d drifted from the golden hash:\n got %s\nwant %s",
+					tc.k, got, tc.golden)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				sys := stalenessSystem(t, dragonfly.Small, 7, shards, tc.k)
+				if got := runLadderJob(t, sys); got != want {
+					t.Fatalf("shards=%d staleness=%d diverges:\n got: %s\nwant: %s",
+						shards, tc.k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardableStalenessConcurrentGolden covers the decimation family under
+// the second drive mode: RunConcurrent at staleness 4 must render the same
+// bytes at every shard count, pinned by its own golden.
+func TestShardableStalenessConcurrentGolden(t *testing.T) {
+	run := func(shards int) string {
+		sys := stalenessSystem(t, dragonfly.Small, 11, shards, 4)
+		victim, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		neighbor, err := sys.Allocate(dragonfly.GroupStriped, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.RunConcurrent([]dragonfly.JobRun{
+			{
+				Job:      victim,
+				Workload: &workloads.Alltoall{MessageBytes: 2 << 10, Iterations: 1},
+				Options:  dragonfly.RunOptions{Iterations: 2},
+			},
+			{
+				Job:      neighbor,
+				Workload: workloads.NewHalo3D(16, 256, 2),
+				Options: dragonfly.RunOptions{
+					Routing:    dragonfly.StaticRouting(dragonfly.AdaptiveHighBias),
+					Iterations: 2,
+				},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderResults(results)
+	}
+	want := run(1)
+	if got := sha(want); got != goldenShardableSmallK4Concurrent {
+		t.Errorf("shards=1 RunConcurrent staleness=4 drifted from the golden hash:\n got %s\nwant %s",
+			got, goldenShardableSmallK4Concurrent)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(shards); got != want {
+			t.Fatalf("RunConcurrent shards=%d staleness=4 diverges:\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}
+
+// TestReplicaStalenessValidation pins the option's error contract: the knob
+// belongs to the shardable variant only, and out-of-range factors are
+// rejected at construction.
+func TestReplicaStalenessValidation(t *testing.T) {
+	if _, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.Small),
+		dragonfly.WithReplicaStaleness(4),
+	); err == nil {
+		t.Error("WithReplicaStaleness(4) accepted under ExactUGAL")
+	}
+	if _, err := dragonfly.New(
+		dragonfly.WithGeometry(dragonfly.Small),
+		dragonfly.WithRoutingVariant(dragonfly.ShardableUGAL),
+		dragonfly.WithReplicaStaleness(-1),
+	); err == nil {
+		t.Error("WithReplicaStaleness(-1) accepted")
+	}
+	sys := stalenessSystem(t, dragonfly.Small, 1, 2, 4)
+	if got := sys.ReplicaStaleness(); got != 4 {
+		t.Errorf("ReplicaStaleness() = %d, want 4", got)
+	}
+}
+
 // TestShardableDiffersFromExact sanity-checks that the variant is a real
 // model change: per-group RNG streams and replicated congestion views must
 // not happen to reproduce the exact serial byte stream.
@@ -203,6 +344,66 @@ func TestParseRoutingVariant(t *testing.T) {
 	}
 	if exact, shardable := dragonfly.ExactUGAL.String(), dragonfly.ShardableUGAL.String(); exact != "exact" || shardable != "shardable" {
 		t.Errorf("variant String() = %q, %q; want exact, shardable", exact, shardable)
+	}
+}
+
+// TestParseStaleness pins the -staleness flag grammar.
+func TestParseStaleness(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", 1, true},
+		{"1", 1, true},
+		{"4", 4, true},
+		{" 16 ", 16, true},
+		{"4096", 4096, true},
+		{"staleness=2", 2, true},
+		{"STALENESS=8", 8, true},
+		{"0", 0, false},
+		{"-3", 0, false},
+		{"4097", 0, false},
+		{"two", 0, false},
+		{"3.5", 0, false},
+		{"staleness=", 0, false},
+		{"k=4", 0, false},
+	} {
+		got, err := dragonfly.ParseStaleness(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseStaleness(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestParseRoutingVariantSpec pins the combined variant:staleness grammar of
+// the -routing-variant flag.
+func TestParseRoutingVariantSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		wantV dragonfly.RoutingVariant
+		wantK int
+		ok    bool
+	}{
+		{"", dragonfly.ExactUGAL, 1, true},
+		{"exact", dragonfly.ExactUGAL, 1, true},
+		{"shardable", dragonfly.ShardableUGAL, 1, true},
+		{"shardable:staleness=1", dragonfly.ShardableUGAL, 1, true},
+		{"shardable:staleness=4", dragonfly.ShardableUGAL, 4, true},
+		{"SHARDED: Staleness=2 ", dragonfly.ShardableUGAL, 2, true},
+		{"exact:staleness=1", dragonfly.ExactUGAL, 1, true},
+		{"exact:staleness=4", dragonfly.ExactUGAL, 0, false},
+		{"shardable:staleness=0", dragonfly.ExactUGAL, 0, false},
+		{"shardable:staleness=4097", dragonfly.ExactUGAL, 0, false},
+		{"shardable:k=4", dragonfly.ExactUGAL, 0, false},
+		{"shardable:", dragonfly.ExactUGAL, 0, false},
+		{"bogus:staleness=2", dragonfly.ExactUGAL, 0, false},
+	} {
+		v, k, err := dragonfly.ParseRoutingVariantSpec(tc.in)
+		if (err == nil) != tc.ok || v != tc.wantV || (tc.ok && k != tc.wantK) {
+			t.Errorf("ParseRoutingVariantSpec(%q) = %v, %d, %v; want %v, %d, ok=%v",
+				tc.in, v, k, err, tc.wantV, tc.wantK, tc.ok)
+		}
 	}
 }
 
