@@ -68,6 +68,13 @@ type (
 	TrafficKind = core.TrafficKind
 	// NodeID identifies a node of the topology.
 	NodeID = topo.NodeID
+	// DecisionTrace is the per-group ring buffer of recorded routing
+	// decisions installed by WithDecisionTrace; read it back with
+	// System.DecisionTrace and score it with the counterfactual package.
+	DecisionTrace = routing.DecisionTrace
+	// TracedDecision is one recorded adaptive routing decision with its
+	// top-k candidate paths and congestion costs at decision time.
+	TracedDecision = routing.TracedDecision
 	// WindowStats summarizes the sharded engine's horizon-window behaviour —
 	// window and batched-window counts, mean shard occupancy, cumulative
 	// barrier wait; read it back with System.Sharded().WindowStats.

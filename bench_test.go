@@ -201,6 +201,21 @@ func BenchmarkModelValidation(b *testing.B) {
 	cellMetric(b, tables[0], len(tables[0].Rows)-1, 1, "avg_correlation")
 }
 
+// BenchmarkCounterfactual regenerates the decision-trace experiment: the
+// per-group decision recorder, the counterfactual re-biasing replay and the
+// Eq. 2 calibration fit, across both UGAL variants. Its allocs/op is gated by
+// scripts/bench_smoke.sh: the recorder writes into preallocated rings, so the
+// experiment's allocation count must stay O(system build), not O(decisions).
+func BenchmarkCounterfactual(b *testing.B) {
+	tables := runExperiment(b, "counterfactual")
+	// Decisions table rows are (variant, setup) x 4 modes; row 3 is
+	// exact/Default scored under Adaptive with High Bias.
+	cellMetric(b, tables[0], 3, 6, "highbias_avoided_per_decision")
+	// Calibration table row 0 is exact/Default: MAPE % and Pearson r.
+	cellMetric(b, tables[1], 0, 5, "calibration_mape_pct")
+	cellMetric(b, tables[1], 0, 6, "calibration_pearson_r")
+}
+
 // BenchmarkFig8Microbenchmarks regenerates Figure 8 (microbenchmarks,
 // Piz Daint style geometry).
 func BenchmarkFig8Microbenchmarks(b *testing.B) {

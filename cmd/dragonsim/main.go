@@ -17,6 +17,8 @@ import (
 	"os"
 
 	"dragonfly"
+	"dragonfly/internal/counterfactual"
+	droute "dragonfly/internal/routing"
 	"dragonfly/internal/trace"
 )
 
@@ -44,6 +46,7 @@ func run(args []string) error {
 		shardsFlag   = fs.String("shards", "", "intra-run engine shards ('auto', or a count; empty = serial; same output either way)")
 		variantFlag  = fs.String("routing-variant", "", "UGAL variant ('exact' = the paper's serial model, 'shardable' = the relaxed parallel model; optional ':staleness=K' suffix; changes results)")
 		staleFlag    = fs.String("staleness", "", "ShardableUGAL replica-sync decimation K (sync period = K x lookahead; empty = 1)")
+		traceFlag    = fs.String("decision-trace", "", "record adaptive routing decisions ('on', a top-k count, or 'k=N'; empty = off) and print a counterfactual scoring table")
 		withNoise    = fs.Bool("noise", false, "add a background interfering job")
 		noiseNodesN  = fs.Int("noise-nodes", 16, "background job size when -noise is set")
 		report       = fs.Int("report", 0, "print a link-utilization report listing the N hottest links")
@@ -106,6 +109,13 @@ func run(args []string) error {
 		}
 		sysOpts = append(sysOpts, dragonfly.WithReplicaStaleness(k))
 	}
+	traceK, err := dragonfly.ParseDecisionTrace(*traceFlag)
+	if err != nil {
+		return err
+	}
+	if traceK > 0 {
+		sysOpts = append(sysOpts, dragonfly.WithDecisionTrace(traceK))
+	}
 	sys, err := dragonfly.New(sysOpts...)
 	if err != nil {
 		return err
@@ -160,8 +170,34 @@ func run(args []string) error {
 		fmt.Printf("application-aware selector: %d messages, %.1f%% of bytes sent with Default routing, %d evaluations, %d mode switches\n",
 			st.Messages, st.DefaultTrafficFraction()*100, st.Evaluations, st.Switches)
 	}
+	if traceK > 0 {
+		if err := printCounterfactual(sys, traceK); err != nil {
+			return err
+		}
+	}
 	if *report > 0 {
 		fmt.Print(sys.Fabric().Report(*report))
 	}
 	return nil
+}
+
+// printCounterfactual replays the recorded adaptive decisions under each bias
+// mode and prints how much raw congestion cost the live policy avoided.
+func printCounterfactual(sys *dragonfly.System, k int) error {
+	tr := sys.DecisionTrace()
+	modes := []droute.Mode{droute.Adaptive, droute.IncreasinglyMinimalBias,
+		droute.AdaptiveLowBias, droute.AdaptiveHighBias}
+	outcomes, err := counterfactual.Score(tr, droute.DefaultParams(), modes)
+	if err != nil {
+		return err
+	}
+	tab := trace.NewTable(
+		fmt.Sprintf("counterfactual decision scoring: top-%d candidates, %d decisions kept, %d dropped",
+			k, tr.Len(), tr.Dropped()),
+		"scored mode", "decisions", "switched %", "cf minimal %", "avoided/decision", "avoided total")
+	for _, o := range outcomes {
+		tab.AddRow(o.Mode.Name(), o.Decisions, o.SwitchedFraction()*100,
+			o.MinimalFraction()*100, o.MeanAvoided(), o.AvoidedCycles())
+	}
+	return tab.Render(os.Stdout)
 }

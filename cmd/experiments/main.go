@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		shards     = fs.String("shards", "", "intra-run engine shards per trial ('auto', or a count; empty = serial; same output either way)")
 		variant    = fs.String("routing-variant", "", "UGAL variant per trial ('exact' = the paper's serial model, 'shardable' = the relaxed parallel model; optional ':staleness=K' suffix; changes results, see EXPERIMENTS.md)")
 		staleness  = fs.String("staleness", "", "ShardableUGAL replica-sync decimation K per trial (sync period = K x lookahead; empty = 1)")
+		decTrace   = fs.String("decision-trace", "", "record adaptive routing decisions per trial ('on', a top-k count, or 'k=N'; empty = off)")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		progress   = fs.Bool("progress", false, "print per-trial progress to stderr")
 	)
@@ -123,6 +124,13 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-staleness %d requires -routing-variant shardable", k)
 		}
 		opts.Staleness = k
+	}
+	if *decTrace != "" {
+		k, err := dragonfly.ParseDecisionTrace(*decTrace)
+		if err != nil {
+			return err
+		}
+		opts.DecisionTrace = k
 	}
 	if *progress {
 		opts.Progress = func(p harness.Progress) {

@@ -158,3 +158,41 @@ func TestSchedsimOpenStreamRejectsBadSpec(t *testing.T) {
 		t.Fatal("unknown SLO class was accepted")
 	}
 }
+
+// TestSchedsimEngineFlags: the -shards / -routing-variant / -staleness flags
+// accepted by dragonsim work identically here, and sharding the engine does
+// not change the schedule (the ExactUGAL byte-identity contract).
+func TestSchedsimEngineFlags(t *testing.T) {
+	render := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"-jobs", "5", "-groups", "3", "-apps", "0.7"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render()
+	if sharded := render("-shards", "2"); sharded != serial {
+		t.Fatalf("-shards 2 changed the schedule:\n--- serial ---\n%s\n--- sharded ---\n%s", serial, sharded)
+	}
+	if s := render("-routing-variant", "shardable:staleness=2", "-shards", "2"); !strings.Contains(s, "machine utilization") {
+		t.Fatalf("shardable variant run incomplete:\n%s", s)
+	}
+	if s := render("-routing-variant", "shardable", "-staleness", "4"); !strings.Contains(s, "machine utilization") {
+		t.Fatalf("stale-replica run incomplete:\n%s", s)
+	}
+}
+
+func TestSchedsimRejectsBadEngineFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-shards", "zero"},
+		{"-routing-variant", "quantum"},
+		{"-routing-variant", "shardable:staleness=x"},
+		{"-staleness", "0"},
+	} {
+		if err := run(append([]string{"-jobs", "2", "-groups", "2"}, args...), &out); err == nil {
+			t.Fatalf("bad flag value %v was accepted", args)
+		}
+	}
+}

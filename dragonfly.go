@@ -68,6 +68,7 @@ type System struct {
 	sharded   *sim.Sharded
 	rng       *rand.Rand
 	collector *telemetry.Collector
+	decisions *routing.DecisionTrace
 
 	// used tracks every node handed out to a job or a background noise
 	// generator, so later allocations land on free nodes.
@@ -141,14 +142,26 @@ func New(opts ...Option) (*System, error) {
 		}
 		s.sharded = sh
 	}
+	var sp *routing.ShardedPolicy
 	if shardable {
-		sp, err := routing.NewShardedPolicy(t, cfg.routing, groups, cfg.seed)
+		sp, err = routing.NewShardedPolicy(t, cfg.routing, groups, cfg.seed)
 		if err != nil {
 			return nil, err
 		}
 		if err := fab.EnableShardable(sp, cfg.staleness); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.decisionTrace > 0 {
+		tr, err := routing.NewDecisionTrace(groups, cfg.decisionTrace, routing.DefaultTraceCapacity)
+		if err != nil {
+			return nil, err
+		}
+		pol.SetDecisionTrace(tr)
+		if sp != nil {
+			sp.SetDecisionTrace(tr)
+		}
+		s.decisions = tr
 	}
 	if cfg.telemetry != nil {
 		col, err := telemetry.NewCollector(fab, *cfg.telemetry)
@@ -192,6 +205,9 @@ func (s *System) Reset(seed int64) error {
 	s.fabric.Reset()
 	s.rng.Seed(seed)
 	clear(s.used)
+	if s.decisions != nil {
+		s.decisions.Reset()
+	}
 	s.noiseGens = s.noiseGens[:0]
 	s.pendingNoise = nil
 	if s.cfg.noise != nil {
@@ -265,6 +281,11 @@ func (s *System) Now() sim.Time { return s.engine.Now() }
 // Telemetry returns the collector installed by WithTelemetry, or nil. The
 // collector is already started; call Stop and Flush on it before reading.
 func (s *System) Telemetry() *telemetry.Collector { return s.collector }
+
+// DecisionTrace returns the routing decision recorder installed by
+// WithDecisionTrace, or nil when tracing is off. Reset clears it along with
+// the rest of the system state.
+func (s *System) DecisionTrace() *DecisionTrace { return s.decisions }
 
 // FreeNodes returns the number of nodes not yet handed to a job or a noise
 // generator.

@@ -146,6 +146,40 @@ func FuzzParseStaleness(f *testing.F) {
 	})
 }
 
+// FuzzParseDecisionTrace fuzzes the decision-trace flag parser: no panics,
+// errors return the zero value, every accepted k is in [0, 8], every accepted
+// k >= 1 is a usable WithDecisionTrace argument, and acceptance is stable
+// under the documented normalization (case, surrounding whitespace).
+func FuzzParseDecisionTrace(f *testing.F) {
+	for _, seed := range []string{
+		"", "off", "OFF", "on", "On", "0", "1", "4", "8", "k=4", "K=2",
+		" k=8 ", "k=0", "9", "-1", "k=", "k=9", "two", "4.5", "0x4", "on=4",
+		"k=k=4", "+4", "99999999999999999999", "∞",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := dragonfly.ParseDecisionTrace(s)
+		if err != nil {
+			if k != 0 {
+				t.Fatalf("ParseDecisionTrace(%q) errored but returned %d", s, k)
+			}
+			return
+		}
+		if k < 0 || k > 8 {
+			t.Fatalf("ParseDecisionTrace(%q) accepted an out-of-range depth %d", s, k)
+		}
+		if k >= 1 {
+			if opt := dragonfly.WithDecisionTrace(k); opt == nil {
+				t.Fatalf("ParseDecisionTrace(%q) = %d does not build a WithDecisionTrace option", s, k)
+			}
+		}
+		if k2, err := dragonfly.ParseDecisionTrace(strings.ToUpper(" " + s + " ")); err != nil || k2 != k {
+			t.Fatalf("ParseDecisionTrace(%q) is not normalization-stable: %v / %d", s, err, k2)
+		}
+	})
+}
+
 // FuzzParseArrival fuzzes the open-arrival spec parser: no panics, every
 // accepted input must come back as a validated spec whose streams can be
 // built, and acceptance must be stable under the documented normalization.

@@ -1,0 +1,134 @@
+// Package counterfactual replays recorded routing decisions against the
+// alternatives the router saw but did not take. The paper's central claim —
+// that application-aware bias selection avoids congestion the adaptive
+// default walks into — is normally argued from end-to-end slowdowns; scoring
+// each decision's candidate set under every bias mode quantifies it per
+// decision: for each mode, how much raw congestion cost would its pick have
+// paid, versus what the recorded choice paid. The package also converts a
+// message log into calibration samples for the perfmodel fitting harness,
+// closing the trace → replay → calibrate loop.
+package counterfactual
+
+import (
+	"fmt"
+
+	"dragonfly/internal/msglog"
+	"dragonfly/internal/perfmodel"
+	"dragonfly/internal/routing"
+)
+
+// ModeOutcome aggregates the counterfactual replay of one routing mode over a
+// decision trace.
+type ModeOutcome struct {
+	// Mode is the bias mode the decisions were re-scored under.
+	Mode routing.Mode
+	// Decisions is the number of decisions replayed.
+	Decisions int64
+	// Switched counts decisions where this mode would have picked a different
+	// candidate than the recorded choice.
+	Switched int64
+	// MinimalPicks counts decisions where this mode picks a minimal candidate.
+	MinimalPicks int64
+	// ActualRawCost sums the unbiased congestion cost of the recorded choices.
+	ActualRawCost int64
+	// ModeRawCost sums the unbiased congestion cost of this mode's picks.
+	ModeRawCost int64
+}
+
+// AvoidedCycles returns the total congestion cost the recorded choices
+// avoided relative to this mode's picks: positive means the recorded policy
+// paid less raw congestion than mode m would have, negative means mode m
+// would have found cheaper paths.
+func (o ModeOutcome) AvoidedCycles() int64 { return o.ModeRawCost - o.ActualRawCost }
+
+// MeanAvoided returns AvoidedCycles per decision.
+func (o ModeOutcome) MeanAvoided() float64 {
+	if o.Decisions == 0 {
+		return 0
+	}
+	return float64(o.AvoidedCycles()) / float64(o.Decisions)
+}
+
+// SwitchedFraction returns the share of decisions this mode would redirect.
+func (o ModeOutcome) SwitchedFraction() float64 {
+	if o.Decisions == 0 {
+		return 0
+	}
+	return float64(o.Switched) / float64(o.Decisions)
+}
+
+// MinimalFraction returns the share of decisions this mode routes minimally.
+func (o ModeOutcome) MinimalFraction() float64 {
+	if o.Decisions == 0 {
+		return 0
+	}
+	return float64(o.MinimalPicks) / float64(o.Decisions)
+}
+
+// Score replays every decision of the trace under each of the given modes and
+// aggregates one ModeOutcome per mode. A replay re-biases the recorded raw
+// candidate costs with the mode's bias (via Params.BiasFor, using the
+// recorded best-minimal-hops) and picks the cheapest candidate with the same
+// strict-< first-wins rule Policy.Route uses, so replaying a decision under
+// the mode that made it reproduces the recorded choice exactly.
+func Score(t *routing.DecisionTrace, params routing.Params, modes []routing.Mode) ([]ModeOutcome, error) {
+	if t == nil {
+		return nil, fmt.Errorf("counterfactual: nil decision trace")
+	}
+	out := make([]ModeOutcome, len(modes))
+	for i, m := range modes {
+		out[i].Mode = m
+	}
+	t.ForEach(func(_ int, d *routing.TracedDecision) {
+		n := int(d.NumCandidates)
+		if n == 0 {
+			return
+		}
+		actual := d.Candidates[d.Chosen].RawCost
+		for i, m := range modes {
+			bias := params.BiasFor(m, int(d.BestMinHops))
+			pick := 0
+			best := int64(1) << 62
+			for c := 0; c < n; c++ {
+				cost := d.Candidates[c].RawCost
+				if !d.Candidates[c].Minimal {
+					cost += bias
+				}
+				if cost < best {
+					best = cost
+					pick = c
+				}
+			}
+			o := &out[i]
+			o.Decisions++
+			if int8(pick) != d.Chosen {
+				o.Switched++
+			}
+			if d.Candidates[pick].Minimal {
+				o.MinimalPicks++
+			}
+			o.ActualRawCost += actual
+			o.ModeRawCost += d.Candidates[pick].RawCost
+		}
+	})
+	return out, nil
+}
+
+// CalibrationSamples converts a message log into perfmodel calibration
+// samples: one observation per record, pairing the message's packet/flit
+// geometry with its measured transmission time. Records without a positive
+// transmission time (loopback messages complete instantly) are skipped.
+func CalibrationSamples(records []msglog.Record) []perfmodel.Sample {
+	out := make([]perfmodel.Sample, 0, len(records))
+	for _, r := range records {
+		cycles := r.TransmissionCycles()
+		if cycles <= 0 {
+			continue
+		}
+		out = append(out, perfmodel.Sample{
+			Geometry:       perfmodel.GeometryForSize(r.Size),
+			ObservedCycles: float64(cycles),
+		})
+	}
+	return out
+}

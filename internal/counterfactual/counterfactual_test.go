@@ -1,0 +1,130 @@
+package counterfactual
+
+import (
+	"math/rand"
+	"testing"
+
+	"dragonfly/internal/msglog"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topo"
+)
+
+// syntheticTrace builds one decision with a cheap non-minimal candidate and a
+// pricier minimal one, recorded as if Adaptive (bias 0) chose the non-minimal.
+func syntheticTrace(t *testing.T) *routing.DecisionTrace {
+	t.Helper()
+	tr, err := routing.NewDecisionTrace(2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := routing.TracedDecision{
+		Mode:          routing.Adaptive,
+		Flits:         5,
+		Bias:          0,
+		BestMinHops:   3,
+		NumCandidates: 2,
+		Chosen:        1,
+	}
+	d.Candidates[0] = routing.TracedCandidate{PathLen: 3, Minimal: true, RawCost: 500}
+	d.Candidates[1] = routing.TracedCandidate{PathLen: 6, Minimal: false, RawCost: 300}
+	tr.Add(0, d)
+	return tr
+}
+
+func TestScoreRebiasesRecordedDecisions(t *testing.T) {
+	tr := syntheticTrace(t)
+	params := routing.DefaultParams()
+	outcomes, err := Score(tr, params, []routing.Mode{
+		routing.Adaptive, routing.AdaptiveLowBias, routing.AdaptiveHighBias,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Adaptive (bias 0) reproduces the recorded choice: non-minimal at 300.
+	a := outcomes[0]
+	if a.Switched != 0 || a.MinimalPicks != 0 || a.AvoidedCycles() != 0 {
+		t.Fatalf("replay under the recording mode must reproduce it: %+v", a)
+	}
+	// Low bias (200): non-minimal costs 300+200=500, ties minimal 500; the
+	// minimal candidate wins on first-strict-< order, switching the decision.
+	l := outcomes[1]
+	if l.Switched != 1 || l.MinimalPicks != 1 {
+		t.Fatalf("low bias should switch to the minimal candidate: %+v", l)
+	}
+	if l.AvoidedCycles() != 500-300 {
+		t.Fatalf("low-bias avoided cycles = %d, want 200", l.AvoidedCycles())
+	}
+	// High bias (800) also goes minimal.
+	h := outcomes[2]
+	if h.MinimalPicks != 1 || h.MeanAvoided() != 200 {
+		t.Fatalf("high bias outcome wrong: %+v", h)
+	}
+	if a.Decisions != 1 || l.SwitchedFraction() != 1 || h.MinimalFraction() != 1 {
+		t.Fatalf("fraction accessors wrong: %+v %+v %+v", a, l, h)
+	}
+}
+
+func TestScoreNilTrace(t *testing.T) {
+	if _, err := Score(nil, routing.DefaultParams(), []routing.Mode{routing.Adaptive}); err == nil {
+		t.Fatal("expected error for nil trace")
+	}
+}
+
+// TestScoreReproducesLiveRouting drives a real Policy with tracing on and
+// checks that replaying under the recording mode never switches a decision —
+// the recorded candidate order and strict-< rule match Route's exactly.
+func TestScoreReproducesLiveRouting(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(3))
+	params := routing.DefaultParams()
+	pol := routing.MustNewPolicy(tt, params)
+	tr, err := routing.NewDecisionTrace(tt.Config().Groups, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.SetDecisionTrace(tr)
+
+	rng := rand.New(rand.NewSource(77))
+	var view routing.CongestionView = routing.ZeroView{Propagation: 25, CyclesPerFlit: 3}
+	for _, mode := range []routing.Mode{routing.Adaptive, routing.AdaptiveHighBias} {
+		tr.Reset()
+		for i := 0; i < 200; i++ {
+			src := topo.RouterID(rng.Intn(tt.NumRouters()))
+			dst := topo.RouterID(rng.Intn(tt.NumRouters()))
+			if src == dst {
+				continue
+			}
+			pol.Route(mode, src, dst, 5, 0, view, int64(i), rng)
+		}
+		outcomes, err := Score(tr, params, []routing.Mode{mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := outcomes[0]
+		if o.Decisions == 0 {
+			t.Fatalf("%v: no decisions replayed", mode)
+		}
+		if o.Switched != 0 || o.AvoidedCycles() != 0 {
+			t.Fatalf("%v: self-replay switched %d/%d decisions (avoided %d)",
+				mode, o.Switched, o.Decisions, o.AvoidedCycles())
+		}
+	}
+}
+
+func TestCalibrationSamplesSkipInstantRecords(t *testing.T) {
+	records := []msglog.Record{
+		{Size: 1024, SendStart: 0, DeliveredAt: 900},
+		{Size: 64, SendStart: 100, DeliveredAt: 100}, // loopback: zero cycles
+		{Size: 4096, SendStart: 50, DeliveredAt: 3050},
+	}
+	samples := CalibrationSamples(records)
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	if samples[0].ObservedCycles != 900 || samples[1].ObservedCycles != 3000 {
+		t.Fatalf("observed cycles wrong: %+v", samples)
+	}
+	if samples[0].Geometry.Packets != 16 || samples[1].Geometry.Packets != 64 {
+		t.Fatalf("geometry wrong: %+v", samples)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"dragonfly"
+	"dragonfly/internal/core"
+	"dragonfly/internal/counterfactual"
+	"dragonfly/internal/harness"
+	"dragonfly/internal/msglog"
+	"dragonfly/internal/noise"
+	"dragonfly/internal/perfmodel"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workloads"
+)
+
+// cfKey identifies one (variant, setup) cell of the counterfactual sweep; it
+// is the trial Meta and the aggregation map key.
+type cfKey struct {
+	Variant string
+	Setup   string
+}
+
+// cfTrial is the value a counterfactual trial body returns: the per-mode
+// replay outcomes, the trace bookkeeping, and the calibration fit.
+type cfTrial struct {
+	Outcomes []counterfactual.ModeOutcome
+	Recorded uint64
+	Dropped  uint64
+	Fit      perfmodel.Fit
+}
+
+// cfModes are the bias modes every recorded decision is re-scored under.
+func cfModes() []routing.Mode {
+	return []routing.Mode{
+		routing.Adaptive,
+		routing.IncreasinglyMinimalBias,
+		routing.AdaptiveLowBias,
+		routing.AdaptiveHighBias,
+	}
+}
+
+// CounterfactualRouting quantifies the paper's central claim per decision
+// rather than per run. Each trial runs a noisy alltoall under one routing
+// setup (the paper's Default, then the application-aware library) with the
+// decision recorder on, then (1) replays every recorded adaptive decision
+// under each bias mode and reports how much raw congestion cost the live
+// policy avoided relative to that mode's counterfactual pick, and (2) fits
+// the Eq. 2 performance model (L, s) against the captured message log and
+// reports MAPE and Pearson-r — the trace → replay → calibrate loop. The sweep
+// runs under both UGAL variants; within a variant the output is byte-identical
+// across shard counts (decision rings are per-group and group order is
+// canonical), which the golden hash and the determinism suite pin.
+func CounterfactualRouting(opts Options) ([]*trace.Table, error) {
+	opts = opts.normalize()
+	// The sweep pins its own variants per trial; a global -routing-variant
+	// override would silently collapse the exact/shardable comparison.
+	opts.Variant = routing.ExactUGAL
+	size := opts.scaleSize(4 << 10)
+	jobNodes := opts.Nodes
+	// The small rung has 64 nodes; leave room for the noise generator.
+	if jobNodes > 16 {
+		jobNodes = 16
+	}
+	iters := opts.iters()
+	if iters > 6 {
+		iters = 6
+	}
+
+	variants := []routing.Variant{routing.ExactUGAL, routing.ShardableUGAL}
+	setups := []struct {
+		name  string
+		build func() RoutingSetup
+	}{
+		{"Default", DefaultSetup},
+		{"AppAware", func() RoutingSetup { return AppAwareSetup(core.DefaultConfig()) }},
+	}
+
+	var specs []harness.TrialSpec
+	for _, variant := range variants {
+		for _, setup := range setups {
+			key := cfKey{Variant: variant.String(), Setup: setup.name}
+			build := setup.build
+			specs = append(specs, harness.TrialSpec{
+				ID:             fmt.Sprintf("counterfactual/%s/%s", key.Variant, key.Setup),
+				Meta:           key,
+				Geometry:       dragonfly.Small,
+				Variant:        variant,
+				Staleness:      1, // pin: a global -staleness override is not part of this comparison
+				DecisionTraceK: routing.DefaultDecisionCandidates,
+				Setups:         singleSetup(build),
+				Body: func(ctx context.Context, e *harness.Env) (any, error) {
+					return runCounterfactualTrial(ctx, e, build(), size, jobNodes, iters,
+						opts.noiseSpec(noise.UniformRandom))
+				},
+			})
+		}
+	}
+
+	results, err := opts.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[cfKey]cfTrial, len(results))
+	for _, r := range results {
+		v, ok := r.Value.(cfTrial)
+		if !ok {
+			return nil, fmt.Errorf("experiments: trial %q returned %T, want cfTrial", r.Spec.ID, r.Value)
+		}
+		byKey[r.Spec.Meta.(cfKey)] = v
+	}
+
+	decisions := trace.NewTable(
+		fmt.Sprintf("Counterfactual decision scoring: noisy alltoall %d B, top-%d candidates",
+			size, routing.DefaultDecisionCandidates),
+		"variant", "setup", "scored mode", "decisions", "switched %", "cf minimal %",
+		"avoided/decision", "avoided total")
+	calibration := trace.NewTable(
+		"Eq. 2 calibration against the captured message log",
+		"variant", "setup", "samples", "fitted L", "fitted s", "MAPE %", "Pearson r",
+		"decisions kept", "decisions dropped")
+	for _, variant := range variants {
+		for _, setup := range setups {
+			key := cfKey{Variant: variant.String(), Setup: setup.name}
+			t, ok := byKey[key]
+			if !ok {
+				return nil, fmt.Errorf("experiments: missing counterfactual cell %+v", key)
+			}
+			for _, o := range t.Outcomes {
+				decisions.AddRow(key.Variant, key.Setup, o.Mode.Name(), o.Decisions,
+					o.SwitchedFraction()*100, o.MinimalFraction()*100,
+					o.MeanAvoided(), o.AvoidedCycles())
+			}
+			calibration.AddRow(key.Variant, key.Setup, t.Fit.Samples,
+				t.Fit.Params.LatencyCycles, t.Fit.Params.StallRatio,
+				t.Fit.MAPE*100, t.Fit.PearsonR, t.Recorded-t.Dropped, t.Dropped)
+		}
+	}
+	return []*trace.Table{decisions, calibration}, nil
+}
+
+// runCounterfactualTrial is the trial body. It runs two phases on the same
+// allocated job: first a quiet multi-size sweep with a message log attached —
+// the calibration data, since Eq. 2 models uncongested transmission and needs
+// size variation to separate L from s — then, after resetting the decision
+// rings, the noisy measured alltoall whose recorded decisions get scored.
+func runCounterfactualTrial(ctx context.Context, e *harness.Env, setup RoutingSetup,
+	size int64, jobNodes, iters int, noiseSpec *harness.NoiseSpec) (any, error) {
+
+	tr := e.Sys.DecisionTrace()
+	if tr == nil {
+		return nil, fmt.Errorf("counterfactual trial needs DecisionTraceK > 0 in its spec")
+	}
+	job, err := e.AllocateJob(dragonfly.GroupStriped, jobNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	log := msglog.NewLog()
+	log.Attach(e.Fabric)
+	for _, s := range []int64{size / 4, size / 2, size, 2 * size, 4 * size} {
+		// Ping-pong serializes the transfers, so each logged record observes
+		// an uncongested network — the regime Eq. 2 actually models.
+		w := &workloads.PingPong{MessageBytes: s, Iterations: 2}
+		if _, err := e.MeasureSingle(ctx, job, setup, nil, w, 1); err != nil {
+			log.Detach(e.Fabric)
+			return nil, err
+		}
+	}
+	log.Detach(e.Fabric)
+	samples := counterfactual.CalibrationSamples(log.Records())
+
+	// The quiet phase's decisions are calibration traffic, not the subject of
+	// the counterfactual question; score only the noisy measured phase.
+	tr.Reset()
+	if noiseSpec != nil {
+		e.StartNoise(*noiseSpec, job)
+	}
+	w := &workloads.Alltoall{MessageBytes: size, Iterations: 1}
+	if _, err := e.MeasureSingle(ctx, job, setup, nil, w, iters); err != nil {
+		return nil, err
+	}
+
+	outcomes, err := counterfactual.Score(tr, routing.DefaultParams(), cfModes())
+	if err != nil {
+		return nil, err
+	}
+	out := cfTrial{Outcomes: outcomes, Recorded: tr.Recorded(), Dropped: tr.Dropped()}
+	if len(samples) >= 2 {
+		fit, err := perfmodel.Calibrate(samples)
+		if err != nil {
+			return nil, err
+		}
+		out.Fit = fit
+	}
+	return out, nil
+}

@@ -23,7 +23,7 @@ func renderAll(t *testing.T, tables []*trace.Table) string {
 // fixed seed, every experiment's tables must be byte-identical whether the
 // trials run on one worker or on eight.
 func TestParallelOutputMatchesSerial(t *testing.T) {
-	ids := []string{"fig3", "fig4", "fig7", "noisesweep", "biassweep", "cotenant", "fullmachine"}
+	ids := []string{"fig3", "fig4", "fig7", "noisesweep", "biassweep", "cotenant", "fullmachine", "counterfactual"}
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -83,6 +83,11 @@ type Options struct {
 	// lookahead windows. Only meaningful with Variant == ShardableUGAL.
 	// Experiments that sweep the staleness themselves (fidelity) ignore it.
 	Staleness int
+	// DecisionTrace is the per-trial decision-recorder depth k
+	// (dragonfly.WithDecisionTrace): 0 keeps tracing off, k > 0 records every
+	// adaptive routing decision with its top-k candidate costs. Experiments
+	// that trace decisions themselves (counterfactual) pin their own k.
+	DecisionTrace int
 	// Progress, if non-nil, receives one callback per finished trial.
 	Progress func(harness.Progress)
 
@@ -238,6 +243,13 @@ func (o Options) runTrials(specs []harness.TrialSpec) ([]harness.Result, error) 
 			}
 		}
 	}
+	if o.DecisionTrace > 0 {
+		for i := range specs {
+			if specs[i].DecisionTraceK == 0 {
+				specs[i].DecisionTraceK = o.DecisionTrace
+			}
+		}
+	}
 	ex := &harness.Executor{Parallel: o.Parallel, Seed: o.Seed, OnProgress: o.Progress}
 	return ex.Run(o.context(), specs)
 }
@@ -295,27 +307,28 @@ type Runner func(Options) ([]*trace.Table, error)
 // Registry maps experiment ids (as used by cmd/experiments -exp) to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"fig3":        Figure3Allocations,
-		"tab1":        Table1IdleFlits,
-		"fig4":        Figure4OnNodeAlltoall,
-		"fig5":        Figure5QCD,
-		"fig7":        Figure7RoutingPingPong,
-		"model":       ModelValidation,
-		"fig8":        Figure8Microbenchmarks,
-		"fig9":        Figure9MicrobenchmarksCori,
-		"fig10":       Figure10Applications,
-		"ablations":   Ablations,
-		"noisesweep":  NoiseSweep,
-		"hysteresis":  HysteresisStudy,
-		"sched":       SchedulerInterference,
-		"cotenant":    CoTenancy,
-		"baselines":   BaselineComparison,
-		"collalgos":   CollectiveAlgorithms,
-		"telemetry":   TelemetryCongestion,
-		"biassweep":   BiasSweep,
-		"fullmachine": FullMachine,
-		"openstream":  OpenStream,
-		"fidelity":    ShardableFidelity,
+		"fig3":           Figure3Allocations,
+		"tab1":           Table1IdleFlits,
+		"fig4":           Figure4OnNodeAlltoall,
+		"fig5":           Figure5QCD,
+		"fig7":           Figure7RoutingPingPong,
+		"model":          ModelValidation,
+		"fig8":           Figure8Microbenchmarks,
+		"fig9":           Figure9MicrobenchmarksCori,
+		"fig10":          Figure10Applications,
+		"ablations":      Ablations,
+		"noisesweep":     NoiseSweep,
+		"hysteresis":     HysteresisStudy,
+		"sched":          SchedulerInterference,
+		"cotenant":       CoTenancy,
+		"baselines":      BaselineComparison,
+		"collalgos":      CollectiveAlgorithms,
+		"telemetry":      TelemetryCongestion,
+		"biassweep":      BiasSweep,
+		"fullmachine":    FullMachine,
+		"openstream":     OpenStream,
+		"fidelity":       ShardableFidelity,
+		"counterfactual": CounterfactualRouting,
 	}
 }
 

@@ -31,6 +31,13 @@ var goldenHashes = map[string]string{
 	// byte stream changed when rank wakeups and delivery completions were
 	// promoted to conforming-parallel execution.
 	"fidelity": "54b9da60f2ec152cef458e7f7aade29a59409dbf84ca8cf8d7c7bd902cefd188",
+	// counterfactual pins the decision-trace data path (PR 10): the per-group
+	// decision rings, the counterfactual re-biasing replay, and the Eq. 2
+	// calibration fit, across both UGAL variants. The experiment pins its own
+	// variants and staleness, so the hash holds at every -shards,
+	// -routing-variant and -staleness override; the invariance test below
+	// checks that directly.
+	"counterfactual": "e9578e304f21a1c8007aaf3fba7870cf496d1414b230f89a8254afc2c7da9fb6",
 }
 
 func TestGoldenTables(t *testing.T) {

@@ -94,6 +94,12 @@ type TrialSpec struct {
 	// per-lookahead refresh; values above one require Variant ==
 	// ShardableUGAL and are their own deterministic models, pinned per K.
 	Staleness int
+	// DecisionTraceK enables the routing decision recorder for the trial's
+	// system (dragonfly.WithDecisionTrace): 0 leaves tracing off, k > 0
+	// records each adaptive decision with its top-k candidate costs. The
+	// trace is part of the construction key, so traced and untraced trials
+	// never share a pooled system.
+	DecisionTraceK int
 	// RoutingParams overrides routing.DefaultParams() when non-nil.
 	RoutingParams *routing.Params
 	// Network overrides network.DefaultConfig() when non-nil.

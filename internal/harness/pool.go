@@ -14,19 +14,21 @@ import (
 // defaults itself, so it can never drift from the facade's own resolution.
 // All fields are comparable value types, so key equality is plain ==.
 type envKey struct {
-	geometry   topo.Config
-	shards     int
-	variant    routing.Variant
-	staleness  int
-	hasRouting bool
-	routing    routing.Params
-	hasNetwork bool
-	network    network.Config
+	geometry      topo.Config
+	shards        int
+	variant       routing.Variant
+	staleness     int
+	decisionTrace int
+	hasRouting    bool
+	routing       routing.Params
+	hasNetwork    bool
+	network       network.Config
 }
 
 // specKey extracts the construction-affecting fields of a spec.
 func specKey(spec TrialSpec) envKey {
-	k := envKey{geometry: spec.Geometry, shards: spec.Shards, variant: spec.Variant, staleness: spec.Staleness}
+	k := envKey{geometry: spec.Geometry, shards: spec.Shards, variant: spec.Variant,
+		staleness: spec.Staleness, decisionTrace: spec.DecisionTraceK}
 	if spec.RoutingParams != nil {
 		k.hasRouting, k.routing = true, *spec.RoutingParams
 	}
@@ -76,6 +78,9 @@ func (p *systemPool) acquire(spec TrialSpec, seed int64) (*dragonfly.System, err
 	}
 	if spec.Staleness > 1 {
 		opts = append(opts, dragonfly.WithReplicaStaleness(spec.Staleness))
+	}
+	if spec.DecisionTraceK > 0 {
+		opts = append(opts, dragonfly.WithDecisionTrace(spec.DecisionTraceK))
 	}
 	if spec.RoutingParams != nil {
 		opts = append(opts, dragonfly.WithRouting(*spec.RoutingParams))

@@ -148,8 +148,12 @@ func (l *Log) SizeHistogram(minSize int64) (bounds []int64, counts []int) {
 	}
 	counts = make([]int, len(bounds))
 	for _, r := range l.records {
+		// Advance while the size reaches the NEXT bucket's lower bound: a size
+		// strictly between two bounds stays in the lower bucket (bucket idx
+		// covers [bounds[idx], bounds[idx+1])). Scanning against the current
+		// bound instead used to push in-between sizes one bucket too high.
 		idx := 0
-		for idx < len(bounds)-1 && r.Size > bounds[idx] {
+		for idx < len(bounds)-1 && r.Size >= bounds[idx+1] {
 			idx++
 		}
 		counts[idx]++
@@ -182,7 +186,8 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveJSONL writes the trace to a file.
+// SaveJSONL writes the trace to a file, syncing it to stable storage before
+// returning so a crash right after a successful save cannot lose the capture.
 func (l *Log) SaveJSONL(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -192,7 +197,7 @@ func (l *Log) SaveJSONL(path string) error {
 	if err := l.WriteJSONL(f); err != nil {
 		return err
 	}
-	return f.Close()
+	return f.Sync()
 }
 
 // ReadJSONL parses a trace previously written with WriteJSONL.

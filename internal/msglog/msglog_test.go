@@ -3,6 +3,7 @@ package msglog
 import (
 	"bytes"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"dragonfly/internal/alloc"
@@ -91,6 +92,69 @@ func TestTrafficMatrixAndHistogram(t *testing.T) {
 	}
 	if lats := log.Latencies(); len(lats) == 0 {
 		t.Fatal("no latencies recorded")
+	}
+}
+
+// TestSizeHistogramBucketing pins the bucketing fix: bucket idx covers
+// [bounds[idx], bounds[idx+1]), so a size strictly between two bounds lands in
+// the LOWER bucket and an exact bound starts its own bucket. The old scan
+// compared against the current (lower) bound and pushed in-between sizes one
+// bucket too high.
+func TestSizeHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		name    string
+		minSize int64
+		sizes   []int64
+		bounds  []int64
+		counts  []int
+	}{
+		{
+			name:    "between-bounds stays in lower bucket",
+			minSize: 1,
+			sizes:   []int64{3}, // bounds [1,2,4]: 3 ∈ [2,4) → bucket 1, not 2
+			bounds:  []int64{1, 2, 4},
+			counts:  []int{0, 1, 0},
+		},
+		{
+			name:    "exact bound opens its bucket",
+			minSize: 1,
+			sizes:   []int64{1, 2, 4},
+			bounds:  []int64{1, 2, 4},
+			counts:  []int{1, 1, 1},
+		},
+		{
+			name:    "mixed exact and between",
+			minSize: 2,
+			sizes:   []int64{2, 3, 4, 5, 7, 8},
+			bounds:  []int64{2, 4, 8},
+			counts:  []int{2, 3, 1},
+		},
+		{
+			name:    "below minSize clamps into first bucket",
+			minSize: 4,
+			sizes:   []int64{1, 4, 6, 9},
+			bounds:  []int64{4, 8, 16},
+			counts:  []int{3, 1, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log := NewLog()
+			for _, s := range tc.sizes {
+				log.records = append(log.records, Record{Size: s})
+			}
+			bounds, counts := log.SizeHistogram(tc.minSize)
+			if len(bounds) != len(tc.bounds) || len(counts) != len(tc.counts) {
+				t.Fatalf("got bounds %v counts %v, want bounds %v counts %v",
+					bounds, counts, tc.bounds, tc.counts)
+			}
+			for i := range bounds {
+				if bounds[i] != tc.bounds[i] || counts[i] != tc.counts[i] {
+					t.Fatalf("bucket %d: got (%d, %d), want (%d, %d)",
+						i, bounds[i], counts[i], tc.bounds[i], tc.counts[i])
+				}
+			}
+		})
 	}
 }
 
@@ -224,6 +288,103 @@ func TestReplayRejectsOutOfRangeEndpoints(t *testing.T) {
 	records := []Record{{Src: 0, Dst: topo.NodeID(tt.NumNodes() + 5), Size: 64}}
 	if _, err := Replay(fab, records, ReplayOptions{}); err == nil {
 		t.Fatal("expected error for out-of-range endpoint")
+	}
+}
+
+func TestReplayPartialNodeMapMixesMappedAndUnmapped(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(3))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(13)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+
+	// Only node 0 is remapped; 1 and 2 pass through unchanged.
+	records := []Record{
+		{Src: 0, Dst: 1, Size: 256, SendStart: 0},
+		{Src: 2, Dst: 0, Size: 512, SendStart: 10},
+	}
+	mapped := topo.NodeID(tt.NumNodes() - 1)
+	replayLog := NewLog()
+	replayLog.Attach(fab)
+	n, err := Replay(fab, records, ReplayOptions{NodeMap: map[topo.NodeID]topo.NodeID{0: mapped}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(records) {
+		t.Fatalf("scheduled %d messages, want %d", n, len(records))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	matrix := replayLog.TrafficMatrix()
+	if matrix[mapped][1] != 256 {
+		t.Fatalf("mapped source should deliver %d->1: %v", mapped, matrix)
+	}
+	if matrix[2][mapped] != 512 {
+		t.Fatalf("unmapped source should deliver 2->%d: %v", mapped, matrix)
+	}
+}
+
+func TestReplayOutOfRangeReportsScheduledPrefix(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(2))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(14)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+	bad := topo.NodeID(tt.NumNodes())
+	records := []Record{
+		{Src: 0, Dst: 1, Size: 64},
+		{Src: 0, Dst: bad, Size: 64}, // first invalid record
+		{Src: 1, Dst: 0, Size: 64},
+	}
+	n, err := Replay(fab, records, ReplayOptions{})
+	if err == nil {
+		t.Fatal("expected error for out-of-range endpoint")
+	}
+	if n != 1 {
+		t.Fatalf("scheduled count is %d, want 1 (records before the invalid one)", n)
+	}
+	// A NodeMap that rescues the bad endpoint makes the same trace valid.
+	n, err = Replay(fab, records, ReplayOptions{NodeMap: map[topo.NodeID]topo.NodeID{bad: 1}})
+	if err != nil || n != len(records) {
+		t.Fatalf("remapped replay returned (%d, %v), want (%d, nil)", n, err, len(records))
+	}
+}
+
+func TestReplayTimeScaleCompressionPreservesSendOrder(t *testing.T) {
+	tt := topo.MustNew(topo.SmallConfig(2))
+	pol := routing.MustNewPolicy(tt, routing.DefaultParams())
+	eng := sim.NewEngine(15)
+	fab := network.MustNew(eng, tt, pol, network.DefaultConfig())
+
+	// Distinct sizes identify the messages; send times are far apart so the
+	// 0.1x compression still leaves distinct post times.
+	records := []Record{
+		{Src: 0, Dst: 1, Size: 64, SendStart: 1000},
+		{Src: 0, Dst: 1, Size: 128, SendStart: 2000},
+		{Src: 0, Dst: 1, Size: 256, SendStart: 9000},
+	}
+	replayLog := NewLog()
+	replayLog.Attach(fab)
+	if _, err := Replay(fab, records, ReplayOptions{TimeScale: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replayLog.Len() != len(records) {
+		t.Fatalf("replay delivered %d messages, want %d", replayLog.Len(), len(records))
+	}
+	got := append([]Record(nil), replayLog.Records()...)
+	sort.Slice(got, func(i, j int) bool { return got[i].SendStart < got[j].SendStart })
+	for i, want := range []int64{64, 128, 256} {
+		if got[i].Size != want {
+			t.Fatalf("send order not preserved under compression: position %d is %d bytes, want %d (%v)",
+				i, got[i].Size, want, got)
+		}
+	}
+	// Compression by 0.1 shrinks the 8000-cycle span to 800.
+	span := got[2].SendStart - got[0].SendStart
+	if span != 800 {
+		t.Fatalf("compressed send span is %d cycles, want 800", span)
 	}
 }
 

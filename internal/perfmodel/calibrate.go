@@ -1,0 +1,117 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one reference observation for calibration: a message geometry and
+// the transmission time the network actually needed for it.
+type Sample struct {
+	// Geometry is the packet/flit layout of the observed message.
+	Geometry Geometry
+	// ObservedCycles is the measured transmission time in cycles.
+	ObservedCycles float64
+}
+
+// Fit is the result of calibrating the Eq. 2 model against a trace.
+type Fit struct {
+	// Params holds the fitted (L, s).
+	Params Params
+	// MAPE is the mean absolute percentage error of the fitted model over the
+	// samples with positive observed time, as a fraction (0.1 = 10%).
+	MAPE float64
+	// PearsonR is the linear correlation between the fitted estimates and the
+	// observations (1 = the model ranks and scales the samples perfectly).
+	PearsonR float64
+	// Samples is the number of observations used.
+	Samples int
+}
+
+// Calibrate fits the Eq. 2 parameters (L, s) to reference timings by linear
+// least squares. Writing w = (p + 512)/1024 for the window term, the model is
+//
+//	T = w·L + f·(s+1)  ⇒  T − f = w·L + f·s,
+//
+// which is linear in (L, s) with predictors (w, f). Each equation is scaled
+// by 1/T (relative least squares): w and f are nearly collinear for large
+// messages, and without the scaling the absolute residuals of the largest
+// samples dominate the fit and wreck the small-message estimates that MAPE
+// scores. The normal equations are solved directly; a degenerate system
+// (e.g. every sample has the same single-packet geometry, making w and f
+// exactly collinear) falls back to fitting L alone with s = 0. Both
+// parameters are clamped to be non-negative, since negative latency or stall
+// ratios are not physically meaningful. The accumulation order is fixed, so
+// the fit is deterministic for a given sample order.
+func Calibrate(samples []Sample) (Fit, error) {
+	if len(samples) < 2 {
+		return Fit{}, fmt.Errorf("perfmodel: calibration needs at least 2 samples, got %d", len(samples))
+	}
+	var sww, swf, sff, swy, sfy float64
+	for _, s := range samples {
+		w := (float64(s.Geometry.Packets) + float64(WindowPackets)/2) / float64(WindowPackets)
+		f := float64(s.Geometry.Flits)
+		y := s.ObservedCycles - f // subtract the f·1 term of f·(s+1)
+		if s.ObservedCycles > 0 {
+			scale := 1 / s.ObservedCycles
+			w *= scale
+			f *= scale
+			y *= scale
+		}
+		sww += w * w
+		swf += w * f
+		sff += f * f
+		swy += w * y
+		sfy += f * y
+	}
+	var l, st float64
+	det := sww*sff - swf*swf
+	if math.Abs(det) > 1e-9*sww*sff {
+		l = (swy*sff - sfy*swf) / det
+		st = (sfy*sww - swy*swf) / det
+	} else if sww > 0 {
+		l = swy / sww
+	}
+	if st < 0 {
+		// Refit L alone: a negative stall ratio means the stall predictor is
+		// absorbing variance it cannot physically explain.
+		st = 0
+		if sww > 0 {
+			l = swy / sww
+		}
+	}
+	if l < 0 {
+		l = 0
+	}
+	fit := Fit{Params: Params{LatencyCycles: l, StallRatio: st}, Samples: len(samples)}
+
+	// Score the fit: MAPE over positive observations, Pearson r between the
+	// model estimates and the observations.
+	var mape float64
+	mapeN := 0
+	var sx, sy, sxx, syy, sxy float64
+	for _, s := range samples {
+		est := EstimateCycles(s.Geometry, fit.Params)
+		obs := s.ObservedCycles
+		if obs > 0 {
+			mape += math.Abs(est-obs) / obs
+			mapeN++
+		}
+		sx += est
+		sy += obs
+		sxx += est * est
+		syy += obs * obs
+		sxy += est * obs
+	}
+	if mapeN > 0 {
+		fit.MAPE = mape / float64(mapeN)
+	}
+	n := float64(len(samples))
+	cov := sxy - sx*sy/n
+	vx := sxx - sx*sx/n
+	vy := syy - sy*sy/n
+	if vx > 0 && vy > 0 {
+		fit.PearsonR = cov / math.Sqrt(vx*vy)
+	}
+	return fit, nil
+}

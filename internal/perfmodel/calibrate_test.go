@@ -1,0 +1,119 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// synthSamples generates observations from known (L, s) over a spread of
+// message sizes, optionally perturbed by a deterministic relative error.
+func synthSamples(truth Params, noise float64) []Sample {
+	sizes := []int64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+	out := make([]Sample, 0, len(sizes))
+	for i, sz := range sizes {
+		g := GeometryForSize(sz)
+		obs := EstimateCycles(g, truth)
+		if noise > 0 {
+			// Alternate the perturbation sign so the noise is zero-mean-ish.
+			sign := 1.0
+			if i%2 == 1 {
+				sign = -1
+			}
+			obs *= 1 + sign*noise
+		}
+		out = append(out, Sample{Geometry: g, ObservedCycles: obs})
+	}
+	return out
+}
+
+func TestCalibrateRecoversExactParams(t *testing.T) {
+	truth := Params{LatencyCycles: 700, StallRatio: 0.35}
+	fit, err := Calibrate(synthSamples(truth, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Params.LatencyCycles-truth.LatencyCycles) > 1e-6 {
+		t.Fatalf("fitted L = %f, want %f", fit.Params.LatencyCycles, truth.LatencyCycles)
+	}
+	if math.Abs(fit.Params.StallRatio-truth.StallRatio) > 1e-9 {
+		t.Fatalf("fitted s = %f, want %f", fit.Params.StallRatio, truth.StallRatio)
+	}
+	if fit.MAPE > 1e-9 {
+		t.Fatalf("noise-free fit has MAPE %f, want ~0", fit.MAPE)
+	}
+	if fit.PearsonR < 0.999999 {
+		t.Fatalf("noise-free fit has Pearson r %f, want ~1", fit.PearsonR)
+	}
+	if fit.Samples != 8 {
+		t.Fatalf("fit used %d samples, want 8", fit.Samples)
+	}
+}
+
+func TestCalibrateToleratesNoise(t *testing.T) {
+	truth := Params{LatencyCycles: 500, StallRatio: 0.2}
+	fit, err := Calibrate(synthSamples(truth, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Params.LatencyCycles < 0 || fit.Params.StallRatio < 0 {
+		t.Fatalf("fit produced unphysical params: %+v", fit.Params)
+	}
+	// 5% multiplicative noise bounds the achievable error near 5%.
+	if fit.MAPE > 0.10 {
+		t.Fatalf("MAPE %f too large for 5%% noise", fit.MAPE)
+	}
+	if fit.PearsonR < 0.99 {
+		t.Fatalf("Pearson r %f too small for 5%% noise", fit.PearsonR)
+	}
+	if err := fit.Params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateDegenerateGeometryFallsBack(t *testing.T) {
+	// Every sample shares one single-packet geometry: w and f are collinear, so
+	// the solver must fall back to fitting L alone rather than dividing by a
+	// vanishing determinant.
+	g := GeometryForSize(64)
+	samples := []Sample{
+		{Geometry: g, ObservedCycles: 400},
+		{Geometry: g, ObservedCycles: 420},
+		{Geometry: g, ObservedCycles: 410},
+	}
+	fit, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Params.StallRatio != 0 {
+		t.Fatalf("degenerate fit should pin s=0, got %f", fit.Params.StallRatio)
+	}
+	if fit.Params.LatencyCycles <= 0 || math.IsNaN(fit.Params.LatencyCycles) {
+		t.Fatalf("degenerate fit produced L=%f", fit.Params.LatencyCycles)
+	}
+}
+
+func TestCalibrateClampsNegativeStall(t *testing.T) {
+	// Observations far below the flit floor would push s negative; the fit
+	// must clamp to the physical boundary instead.
+	samples := []Sample{
+		{Geometry: GeometryForSize(64), ObservedCycles: 10},
+		{Geometry: GeometryForSize(65536), ObservedCycles: 20},
+		{Geometry: GeometryForSize(1048576), ObservedCycles: 30},
+	}
+	fit, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Params.StallRatio < 0 || fit.Params.LatencyCycles < 0 {
+		t.Fatalf("clamping failed: %+v", fit.Params)
+	}
+}
+
+func TestCalibrateNeedsTwoSamples(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Fatal("expected error for empty sample set")
+	}
+	if _, err := Calibrate([]Sample{{Geometry: GeometryForSize(64), ObservedCycles: 5}}); err == nil {
+		t.Fatal("expected error for a single sample")
+	}
+}

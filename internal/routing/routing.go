@@ -212,6 +212,10 @@ type Policy struct {
 	pathBuf     topo.PathBuffer
 	hashScratch topo.Path
 	hashRng     *rand.Rand
+
+	// trace, when non-nil, records every adaptive decision with its candidate
+	// costs. Off by default; the disabled cost is one nil check per Route.
+	trace *DecisionTrace
 }
 
 // NewPolicy builds a routing policy over the given topology.
@@ -234,14 +238,20 @@ func MustNewPolicy(t *topo.Topology, params Params) *Policy {
 // Params returns the policy parameters.
 func (p *Policy) Params() Params { return p.params }
 
+// SetDecisionTrace attaches (or, with nil, detaches) a decision recorder.
+func (p *Policy) SetDecisionTrace(t *DecisionTrace) { p.trace = t }
+
+// DecisionTrace returns the attached recorder, or nil when tracing is off.
+func (p *Policy) DecisionTrace() *DecisionTrace { return p.trace }
+
 // Topology returns the underlying topology.
 func (p *Policy) Topology() *topo.Topology { return p.topo }
 
-// pathCost estimates the traversal cost of a path for a packet of the given
+// PathCost estimates the traversal cost of a path for a packet of the given
 // flit count: per-hop serialization plus propagation plus the perceived queue
 // backlog of each link. This mirrors the UGAL decision of comparing
 // queue-depth x hop-count between minimal and non-minimal candidates.
-func (p *Policy) pathCost(path topo.Path, flits int, view CongestionView, now int64) int64 {
+func PathCost(path topo.Path, flits int, view CongestionView, now int64) int64 {
 	var cost int64
 	for _, id := range path {
 		cost += view.QueueCycles(id, now)
@@ -249,6 +259,10 @@ func (p *Policy) pathCost(path topo.Path, flits int, view CongestionView, now in
 		cost += view.SerializationCycles(id, flits)
 	}
 	return cost
+}
+
+func (p *Policy) pathCost(path topo.Path, flits int, view CongestionView, now int64) int64 {
+	return PathCost(path, flits, view, now)
 }
 
 // hashPath returns a deterministic path for the hashed (non-adaptive) modes.
@@ -272,27 +286,32 @@ func (p *Policy) hashPath(src, dst topo.RouterID, hash uint64, minimal bool) top
 	return p.hashScratch
 }
 
-// bias returns the additive non-minimal bias for the mode, given the length of
-// the best minimal candidate (used by the Increasingly-Minimal-Bias
+// BiasFor returns the additive non-minimal bias for the mode, given the
+// length of the best minimal candidate (used by the Increasingly-Minimal-Bias
 // approximation: the closer the destination, i.e. the shorter the minimal
-// path, the larger the bias).
-func (p *Policy) bias(mode Mode, minimalHops int) int64 {
+// path, the larger the bias). It is exported so counterfactual scoring can
+// re-bias recorded raw costs under alternative modes.
+func (p Params) BiasFor(mode Mode, minimalHops int) int64 {
 	switch mode {
 	case Adaptive:
 		return 0
 	case AdaptiveLowBias:
-		return p.params.LowBiasCycles
+		return p.LowBiasCycles
 	case AdaptiveHighBias:
-		return p.params.HighBiasCycles
+		return p.HighBiasCycles
 	case IncreasinglyMinimalBias:
 		remaining := topo.MaxMinimalHops - minimalHops
 		if remaining < 0 {
 			remaining = 0
 		}
-		return p.params.IMBBiasPerHopCycles * int64(1+remaining)
+		return p.IMBBiasPerHopCycles * int64(1+remaining)
 	default:
 		return 0
 	}
+}
+
+func (p *Policy) bias(mode Mode, minimalHops int) int64 {
+	return p.params.BiasFor(mode, minimalHops)
 }
 
 // Route selects a path for one packet of the given flit count from the router
@@ -325,24 +344,31 @@ func (p *Policy) Route(mode Mode, src, dst topo.RouterID, flits int, hash uint64
 		p.params.MinimalCandidates, p.params.NonMinimalCandidates, rng)
 
 	best := Decision{Cost: int64(1) << 62}
+	bestIdx := -1
 	bestMinHops := topo.MaxMinimalHops
 	for _, cand := range minimal {
 		if len(cand) < bestMinHops {
 			bestMinHops = len(cand)
 		}
 	}
-	for _, cand := range minimal {
+	for i, cand := range minimal {
 		c := p.pathCost(cand, flits, view, now)
 		if c < best.Cost {
 			best = Decision{Path: cand, Minimal: true, Cost: c}
+			bestIdx = i
 		}
 	}
 	nonMinBias := p.bias(mode, bestMinHops)
-	for _, cand := range nonMinimal {
+	for i, cand := range nonMinimal {
 		c := p.pathCost(cand, flits, view, now) + nonMinBias
 		if c < best.Cost {
 			best = Decision{Path: cand, Minimal: false, Cost: c}
+			bestIdx = len(minimal) + i
 		}
+	}
+	if p.trace != nil {
+		p.trace.record(int(p.topo.GroupOf(src)), mode, src, dst, flits, now, view,
+			minimal, nonMinimal, bestMinHops, nonMinBias, bestIdx)
 	}
 	return best
 }

@@ -178,6 +178,18 @@ func (sp *ShardedPolicy) Groups() int { return len(sp.lanes) }
 // Params returns the shared policy parameters.
 func (sp *ShardedPolicy) Params() Params { return sp.params }
 
+// SetDecisionTrace attaches one shared recorder to every lane (nil detaches).
+// Sharing is safe: lane g records only into the trace's group-g ring, and a
+// lane is only ever driven by the shard that owns its group.
+func (sp *ShardedPolicy) SetDecisionTrace(t *DecisionTrace) {
+	for g := range sp.lanes {
+		sp.lanes[g].pol.SetDecisionTrace(t)
+	}
+}
+
+// DecisionTrace returns the attached recorder, or nil when tracing is off.
+func (sp *ShardedPolicy) DecisionTrace() *DecisionTrace { return sp.lanes[0].pol.DecisionTrace() }
+
 // Reset reseeds every lane from the new engine seed; lane g replays exactly
 // the stream a freshly built ShardedPolicy(seed) would produce.
 func (sp *ShardedPolicy) Reset(seed int64) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -19,7 +20,16 @@ type Table struct {
 	// Columns are the header labels.
 	Columns []string
 	// Rows hold the data cells; each row should have len(Columns) cells.
+	// Float cells added through AddRow are stored at full precision — these
+	// are what WriteCSV and WriteJSON emit, so files fed to fitting harnesses
+	// never inherit display rounding.
 	Rows [][]string
+
+	// display holds the terminal rendering of each AddRow row (floats at the
+	// historical %.3f). Render prefers it over Rows so the aligned text output
+	// is unchanged; rows appended to Rows by hand have no display twin and
+	// render verbatim.
+	display [][]string
 }
 
 // NewTable creates a table with the given title and columns.
@@ -27,20 +37,41 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row of cells, formatting each value with %v.
+// AddRow appends a row of cells, formatting each value with %v. Floats are
+// stored at full precision (shortest round-tripping decimal) and only rounded
+// to three decimals when the table is rendered as text.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
+	disp := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			disp[i] = fmt.Sprintf("%.3f", v)
 		case float32:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = strconv.FormatFloat(float64(v), 'g', -1, 32)
+			disp[i] = fmt.Sprintf("%.3f", v)
 		default:
 			row[i] = fmt.Sprintf("%v", v)
+			disp[i] = row[i]
 		}
 	}
+	// Keep display aligned with Rows even if the caller appended rows to Rows
+	// by hand between AddRow calls (those rows render verbatim).
+	for len(t.display) < len(t.Rows) {
+		t.display = append(t.display, t.Rows[len(t.display)])
+	}
 	t.Rows = append(t.Rows, row)
+	t.display = append(t.display, disp)
+}
+
+// displayRow returns the terminal rendering of row i: the %.3f-formatted twin
+// for AddRow rows, the raw cells for rows appended to Rows directly.
+func (t *Table) displayRow(i int) []string {
+	if i < len(t.display) {
+		return t.display[i]
+	}
+	return t.Rows[i]
 }
 
 // Render writes the table as aligned text.
@@ -49,10 +80,10 @@ func (t *Table) Render(w io.Writer) error {
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+	for i := range t.Rows {
+		for j, cell := range t.displayRow(i) {
+			if j < len(widths) && len(cell) > widths[j] {
+				widths[j] = len(cell)
 			}
 		}
 	}
@@ -83,8 +114,8 @@ func (t *Table) Render(w io.Writer) error {
 	if err := writeRow(sep); err != nil {
 		return err
 	}
-	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
+	for i := range t.Rows {
+		if err := writeRow(t.displayRow(i)); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -52,8 +53,53 @@ func TestWriteCSV(t *testing.T) {
 	if len(records) != 3 {
 		t.Fatalf("CSV has %d records, want 3", len(records))
 	}
-	if records[0][0] != "name" || records[1][0] != "alpha" || records[2][2] != "1.250" {
+	// Data cells carry full precision, not the %.3f display rounding: the CSV
+	// is what fitting harnesses read back.
+	if records[0][0] != "name" || records[1][0] != "alpha" || records[2][2] != "1.25" {
 		t.Fatalf("unexpected CSV content: %v", records)
+	}
+}
+
+// TestDataCellsKeepFullPrecision pins the AddRow storage fix: float cells used
+// to be truncated to three decimals before storage, so CSV/JSON files lost
+// precision permanently. Rows now hold the shortest round-tripping decimal,
+// while Render still displays %.3f.
+func TestDataCellsKeepFullPrecision(t *testing.T) {
+	tbl := NewTable("precision", "v")
+	const v = 0.7234567890123456
+	tbl.AddRow(v)
+	got, err := strconv.ParseFloat(tbl.Rows[0][0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("stored cell %q does not round-trip %v (parsed %v)", tbl.Rows[0][0], v, got)
+	}
+	if out := tbl.String(); !strings.Contains(out, "0.723") || strings.Contains(out, tbl.Rows[0][0]) {
+		t.Fatalf("rendered output should show the %%.3f display form only: %q", out)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), tbl.Rows[0][0]) {
+		t.Fatalf("CSV lost full-precision cell: %q", buf.String())
+	}
+}
+
+// TestHandAppendedRowsRenderVerbatim: rows pushed into Rows directly (no
+// AddRow) have no display twin and must render as stored, even when mixed
+// with AddRow rows in any order.
+func TestHandAppendedRowsRenderVerbatim(t *testing.T) {
+	tbl := NewTable("mixed", "a")
+	tbl.Rows = append(tbl.Rows, []string{"raw-first"})
+	tbl.AddRow(1.5)
+	tbl.Rows = append(tbl.Rows, []string{"raw-last"})
+	out := tbl.String()
+	for _, want := range []string{"raw-first", "1.500", "raw-last"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mixed-row table missing %q: %q", want, out)
+		}
 	}
 }
 

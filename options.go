@@ -103,15 +103,16 @@ func ParseGeometry(s string) (Geometry, error) {
 
 // config is the resolved set of options a System is built from.
 type config struct {
-	geometry  Geometry
-	routing   RoutingParams
-	network   NetworkConfig
-	seed      int64
-	shards    int
-	variant   RoutingVariant
-	staleness int
-	noise     *NoiseConfig
-	telemetry *TelemetryConfig
+	geometry      Geometry
+	routing       RoutingParams
+	network       NetworkConfig
+	seed          int64
+	shards        int
+	variant       RoutingVariant
+	staleness     int
+	decisionTrace int
+	noise         *NoiseConfig
+	telemetry     *TelemetryConfig
 }
 
 // defaultConfig mirrors the library defaults every consumer used to spell out
@@ -248,6 +249,34 @@ func WithReplicaStaleness(k int) Option {
 		c.staleness = k
 		return nil
 	}
+}
+
+// WithDecisionTrace enables the routing decision recorder: every adaptive
+// routing decision is captured with its top-k candidate paths and their
+// congestion costs at decision time, into one preallocated ring per dragonfly
+// group (so sharded runs stay deterministic and recording never allocates).
+// Read the trace back with System.DecisionTrace and score it with the
+// counterfactual package. Tracing observes the selection — it never changes
+// which path is routed — and is off by default; the disabled cost is one nil
+// check per routed packet.
+func WithDecisionTrace(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("dragonfly: WithDecisionTrace needs k >= 1, got %d", k)
+		}
+		if k > routing.MaxDecisionCandidates {
+			return fmt.Errorf("dragonfly: WithDecisionTrace %d exceeds the maximum %d", k, routing.MaxDecisionCandidates)
+		}
+		c.decisionTrace = k
+		return nil
+	}
+}
+
+// ParseDecisionTrace maps a command-line -decision-trace flag to a
+// WithDecisionTrace argument: "", "off" and "0" disable tracing (return 0),
+// "on" selects the default k, otherwise "N" or "k=N".
+func ParseDecisionTrace(s string) (int, error) {
+	return routing.ParseDecisionTrace(s)
 }
 
 // ParseStaleness maps a command-line -staleness flag to a

@@ -138,3 +138,30 @@ if [ "$wallocs" -gt "$wbudget" ]; then
     exit 1
 fi
 echo "bench_smoke: OK — steady-state window allocs/op $wallocs within budget $wbudget"
+
+# Sixth gate: the decision-trace data path. BenchmarkCounterfactual runs the
+# counterfactual experiment — recorder on, ~33k adaptive decisions recorded
+# per op — and its budget enforces the recorder's design contract: fixed-size
+# records into rings preallocated at system build, zero allocations per
+# recorded decision (the TestRouteAllocationFree unit test pins the per-call
+# path; this gate pins the end-to-end experiment).
+cbudget=$(awk '$1 == "counterfactual_allocs_per_op" {print $2}' BENCH_budget.txt)
+if [ -z "$cbudget" ]; then
+    echo "bench_smoke: no counterfactual_allocs_per_op entry in BENCH_budget.txt" >&2
+    exit 2
+fi
+
+out=$(go test -run '^$' -bench '^BenchmarkCounterfactual$' -benchmem -benchtime 1x -timeout 30m .)
+echo "$out"
+callocs=$(echo "$out" | awk '/^BenchmarkCounterfactual/ {for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$callocs" ]; then
+    echo "bench_smoke: could not find allocs/op in counterfactual benchmark output" >&2
+    exit 2
+fi
+
+climit=$((cbudget + cbudget / 10))
+if [ "$callocs" -gt "$climit" ]; then
+    echo "bench_smoke: FAIL — counterfactual allocs/op $callocs exceeds budget $cbudget (+10% = $climit)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — counterfactual allocs/op $callocs within budget $cbudget (+10% = $climit)"
